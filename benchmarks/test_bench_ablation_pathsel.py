@@ -1,0 +1,106 @@
+"""Ablation: path selection before value selection (the V.A design choice).
+
+The algorithm splits test generation into path selection (DPTRACE) and
+value selection (DPRELAX), "a divide-and-conquer approach [that] reduces
+the problem size significantly".  The ablation removes DPTRACE's guidance:
+control values are drawn from a deterministic pseudo-random assignment
+instead of selected paths, and relaxation + exposure run exactly as in TG.
+
+Expected shape: unguided control assignments rarely route the error site to
+an observable output AND satisfy the controller's reachable-state
+structure, so detection collapses relative to full TG.
+"""
+
+import random
+
+from repro.campaign import DlxCampaign
+from repro.core.dprelax import DiscreteRelaxer
+from repro.dlx.env import dlx_exposure_comparator
+from repro.errors import BusSSLError
+from repro.verify.cosim import CosimError, ProcessorSimulator
+
+ERRORS = [
+    BusSSLError("alu_add.y", 0, 0),
+    BusSSLError("alu_mux.y", 5, 1),
+    BusSSLError("opa_mux.y", 3, 1),
+    BusSSLError("load_mux.y", 7, 0),
+    BusSSLError("mem_sdata.y", 2, 0),
+    BusSSLError("wb_mux.y", 31, 0),
+    BusSSLError("setcc_ext.y", 0, 0),
+    BusSSLError("lb_ext.y", 31, 0),
+]
+N_FRAMES = 7
+TRIALS_PER_ERROR = 8
+
+
+def random_control_attempt(processor, error, rng):
+    """One value-only attempt: random CPIs, relaxed data values."""
+    controller = processor.controller
+    cpi_frames = []
+    for _ in range(N_FRAMES):
+        frame = {}
+        for name in controller.cpi_signals:
+            domain = controller.network.signal(name).domain
+            frame[name] = rng.choice(domain)
+        cpi_frames.append(frame)
+    # Derive the concrete CTRL values these instructions imply.
+    sim = ProcessorSimulator(processor)
+    ctrl_map = {}
+    sts_feedback = []
+    try:
+        for frame_index, cpi in enumerate(cpi_frames):
+            dpi = {net.name: rng.randrange(1 << min(net.width, 16))
+                   for net in processor.datapath.dpi_nets}
+            trace = sim.step(cpi, dpi)
+            for name in controller.ctrl_signals:
+                value = trace.controller.get(name)
+                if value is not None:
+                    ctrl_map[(frame_index, name)] = value
+    except CosimError:
+        return False
+
+    relaxer = DiscreteRelaxer(processor.datapath, N_FRAMES, ctrl=ctrl_map)
+    relaxer.require_activation(error.activation_constraint(N_FRAMES // 2))
+    relax = relaxer.relax()
+    if not relax.converged:
+        return False
+    dpi_frames = relax.dpi_values(processor.datapath, N_FRAMES)
+    try:
+        good = ProcessorSimulator(processor)
+        bad_sim = error.attach(processor.datapath)
+        bad = ProcessorSimulator(processor, injector=bad_sim.injector)
+        g = good.run(cpi_frames, dpi_frames)
+        b = bad.run(cpi_frames, dpi_frames)
+    except CosimError:
+        return False
+    # Same (strict, transaction-gated) divergence criterion as full TG.
+    return dlx_exposure_comparator(processor, g, b) is not None
+
+
+def run_ablation():
+    campaign = DlxCampaign(deadline_seconds=40.0)
+    processor = campaign.processor
+    guided = sum(
+        campaign.run_error(error).detected for error in ERRORS
+    )
+    rng = random.Random(2024)
+    unguided = 0
+    for error in ERRORS:
+        if any(
+            random_control_attempt(processor, error, rng)
+            for _ in range(TRIALS_PER_ERROR)
+        ):
+            unguided += 1
+    return guided, unguided
+
+
+def test_path_selection_ablation(benchmark):
+    guided, unguided = benchmark.pedantic(run_ablation, rounds=1,
+                                          iterations=1)
+    print()
+    print(f"Errors detected out of {len(ERRORS)}:")
+    print(f"  full TG (DPTRACE-guided):       {guided}")
+    print(f"  value-only (random controls,"
+          f" {TRIALS_PER_ERROR} tries/error): {unguided}")
+    assert guided == len(ERRORS)
+    assert unguided < guided

@@ -1,0 +1,52 @@
+"""Extension: other error models from [28] (module substitution, bus order).
+
+Section VI: "Although our test generation algorithm can be used in
+conjunction with other error models proposed in [28], the bus SSL model was
+chosen for these initial experiments."  We run the two additional classes
+the library implements — module substitution errors (a module computes a
+related wrong function) and bus order errors (swapped operands) — on the
+DLX execute stage.
+
+Unlike bus SSL, these models have no closed-form activation constraint:
+activation relies on the value-selection seed heuristics, so detection is
+expected high for asymmetric operators and naturally lower where the
+substituted functions coincide on most operand pairs.
+"""
+
+from repro.campaign import DlxCampaign
+from repro.core.tg import TGStatus
+from repro.errors import enumerate_boe, enumerate_mse
+
+
+def run_extension_models():
+    campaign = DlxCampaign(deadline_seconds=25.0)
+    processor = campaign.processor
+    mse = enumerate_mse(processor.datapath, stages={2})
+    boe = [
+        e for e in enumerate_boe(processor.datapath, stages={2})
+        if e.module in ("alu_sub", "alu_sll", "alu_srl", "alu_sra",
+                        "cmp_lt", "cmp_gt")
+    ]
+    results = {}
+    for error in mse + boe:
+        result = campaign.generator.generate(error)
+        results[error.describe()] = result.status is TGStatus.DETECTED
+    return mse, boe, results
+
+
+def test_extension_error_models(benchmark):
+    mse, boe, results = benchmark.pedantic(
+        run_extension_models, rounds=1, iterations=1
+    )
+    print()
+    mse_hits = sum(results[e.describe()] for e in mse)
+    boe_hits = sum(results[e.describe()] for e in boe)
+    print(f"Module substitution errors: {mse_hits}/{len(mse)} detected")
+    print(f"Bus order errors:           {boe_hits}/{len(boe)} detected")
+    for name, detected in sorted(results.items()):
+        print(f"  {'DET ' if detected else 'ABRT'} {name}")
+
+    # All ALU substitutions are detectable and should be found.
+    assert mse_hits == len(mse)
+    # Asymmetric-operator swaps are detectable; allow a small abort tail.
+    assert boe_hits >= len(boe) - 2

@@ -1,0 +1,35 @@
+"""Second test vehicle: the full bus-SSL campaign on MiniPipe.
+
+The paper evaluates on one processor; as an extension we run the identical
+flow on a second, independently-built machine (3 stages, 8-bit datapath,
+two bypasses, branch squash).  The expected shape carries over: high
+detection rate, test length tracking the pipeline depth (window = depth+1
+upward), and the few-nontrivial-instructions-then-NOPs structure.
+
+MiniPipe is small enough to enumerate EVERY bus SSL bit (no sampling).
+"""
+
+from repro.campaign import MiniCampaign
+
+
+def run_campaign():
+    campaign = MiniCampaign(deadline_seconds=10.0)
+    errors = campaign.default_errors()
+    return errors, campaign.run(errors)
+
+
+def test_minipipe_campaign(benchmark):
+    errors, report = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    print()
+    print(report.table1(
+        f"MiniPipe: all {len(errors)} bus SSL errors (EX/WB stages)"
+    ))
+    failures = [o for o in report.outcomes if not o.detected]
+    if failures:
+        print("aborted:")
+        for o in failures:
+            print(f"  {o.error} ({o.failure_stage})")
+
+    assert report.detection_rate >= 0.85
+    # Window sizes track pipeline depth: 3-stage machine -> tests of 4-7.
+    assert 4.0 <= report.avg_test_length <= 7.0

@@ -1,0 +1,61 @@
+"""repro — High-Level Test Generation for Design Verification of Pipelined
+Microprocessors.
+
+A from-scratch Python reproduction of Van Campenhout, Mudge & Hayes
+(DAC 1999): a structured processor model (word-level datapath + bit-level
+controller with primary/secondary/tertiary signal classification), the
+pipeframe search organization, and the three-part test generation algorithm
+(DPTRACE path selection, DPRELAX discrete-relaxation value selection,
+CTRLJUST controller justification), evaluated on a five-stage pipelined DLX
+against bus single-stuck-line design errors.
+
+Quick start::
+
+    from repro import build_dlx, TestGenerator, BusSSLError
+
+    dlx = build_dlx()
+    tg = TestGenerator(dlx)
+    result = tg.generate(BusSSLError("alu_add.y", 0, 0))
+    assert result.status.value == "detected"
+"""
+
+from repro.campaign import CampaignReport, DlxCampaign, MiniCampaign
+from repro.core.tg import TestCase, TestGenerator, TGResult, TGStatus
+from repro.datapath import DatapathBuilder, DatapathSimulator, Netlist
+from repro.dlx import build_dlx
+from repro.errors import (
+    BusOrderError,
+    BusSSLError,
+    ModuleSubstitutionError,
+    enumerate_boe,
+    enumerate_bus_ssl,
+    enumerate_mse,
+)
+from repro.mini import build_minipipe
+from repro.model.processor import Processor
+from repro.verify import ProcessorSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusOrderError",
+    "BusSSLError",
+    "CampaignReport",
+    "DatapathBuilder",
+    "DatapathSimulator",
+    "DlxCampaign",
+    "MiniCampaign",
+    "ModuleSubstitutionError",
+    "Netlist",
+    "Processor",
+    "ProcessorSimulator",
+    "TGResult",
+    "TGStatus",
+    "TestCase",
+    "TestGenerator",
+    "build_dlx",
+    "build_minipipe",
+    "enumerate_boe",
+    "enumerate_bus_ssl",
+    "enumerate_mse",
+]

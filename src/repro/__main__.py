@@ -1,0 +1,127 @@
+"""Command-line entry points: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats``                     — print the DLX model statistics
+* ``table1 [--sample N] [--dropping]``
+                                — run the Table-1 campaign (1-in-N sample)
+* ``generate NET BIT STUCK``    — generate a test for one bus SSL error
+* ``minipipe``                  — run the MiniPipe campaign
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_stats(_args) -> int:
+    from repro.dlx import build_dlx
+
+    stats = build_dlx().statistics()
+    width = max(len(k) for k in stats) + 2
+    for key, value in stats.items():
+        print(f"{key:<{width}}{value}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.campaign import DlxCampaign
+
+    campaign = DlxCampaign(deadline_seconds=args.deadline)
+    errors = campaign.default_errors(max_bits_per_net=4)
+    if args.sample > 1:
+        errors = errors[:: args.sample]
+    print(f"Running {len(errors)} bus SSL errors "
+          f"(deadline {args.deadline:.0f}s/error, "
+          f"error simulation {'on' if args.dropping else 'off'}) ...")
+    report = campaign.run(errors, error_simulation=args.dropping)
+    print(report.table1())
+    if args.dropping:
+        dropped = sum(1 for o in report.outcomes if o.dropped_by)
+        print(f"(fault dropping skipped TG for {dropped} errors)")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.core.tg import TestGenerator, TGStatus
+    from repro.dlx import build_dlx, detects
+    from repro.dlx.env import dlx_exposure_comparator
+    from repro.dlx.realize import RealizationError, realize
+    from repro.errors import BusSSLError
+
+    dlx = build_dlx()
+    error = BusSSLError(args.net, args.bit, args.stuck)
+    generator = TestGenerator(
+        dlx, exposure_comparator=dlx_exposure_comparator,
+        deadline_seconds=args.deadline,
+    )
+    result = generator.generate(error)
+    print(f"{error.describe()}: {result.status.value} "
+          f"({result.attempts} attempts, {result.backtracks} backtracks)")
+    if result.status is not TGStatus.DETECTED:
+        return 1
+    try:
+        realized = realize(dlx, result.test)
+    except RealizationError as exc:
+        print(f"realization failed: {exc}")
+        return 1
+    for instruction in realized.program:
+        print(f"  {instruction}")
+    nonzero = {f"r{i}": hex(v) for i, v in enumerate(realized.init_regs) if v}
+    if nonzero:
+        print(f"initial registers: {nonzero}")
+    if realized.init_memory:
+        print(f"initial memory: "
+              f"{ {hex(a): hex(v) for a, v in realized.init_memory.items()} }")
+    ok = detects(dlx, realized.program, error,
+                 realized.init_regs, realized.init_memory)
+    print("ISA-level detection:", "yes" if ok else "NO")
+    return 0 if ok else 1
+
+
+def cmd_minipipe(args) -> int:
+    from repro.campaign import MiniCampaign
+
+    campaign = MiniCampaign(deadline_seconds=args.deadline)
+    errors = campaign.default_errors()
+    print(f"Running all {len(errors)} MiniPipe bus SSL errors ...")
+    report = campaign.run(errors)
+    print(report.table1("MiniPipe bus SSL campaign"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="print DLX model statistics")
+
+    p_table1 = sub.add_parser("table1", help="run the Table-1 campaign")
+    p_table1.add_argument("--sample", type=int, default=6,
+                          help="run every Nth error (default 6; 1 = all)")
+    p_table1.add_argument("--deadline", type=float, default=20.0)
+    p_table1.add_argument("--dropping", action="store_true",
+                          help="enable error simulation / fault dropping")
+
+    p_gen = sub.add_parser("generate", help="target one bus SSL error")
+    p_gen.add_argument("net", help="datapath net name, e.g. alu_add.y")
+    p_gen.add_argument("bit", type=int)
+    p_gen.add_argument("stuck", type=int, choices=(0, 1))
+    p_gen.add_argument("--deadline", type=float, default=30.0)
+
+    p_mini = sub.add_parser("minipipe", help="run the MiniPipe campaign")
+    p_mini.add_argument("--deadline", type=float, default=10.0)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "stats": cmd_stats,
+        "table1": cmd_table1,
+        "generate": cmd_generate,
+        "minipipe": cmd_minipipe,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Analysis utilities: coverage metrics, pipeline trace rendering."""
+
+from repro.analysis.coverage import ControllerCoverage, CoverageCollector
+from repro.analysis.pipeview import render_pipeline_trace
+from repro.analysis.vcd import read_vcd_header, write_vcd
+
+__all__ = [
+    "ControllerCoverage",
+    "CoverageCollector",
+    "read_vcd_header",
+    "render_pipeline_trace",
+    "write_vcd",
+]

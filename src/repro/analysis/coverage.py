@@ -1,0 +1,121 @@
+"""Controller coverage metrics for verification test suites.
+
+Section II surveys the coverage metrics used with simulation-based
+verification — code coverage, FSM coverage [15], architectural events [27]
+— and notes their weakness: the relationship between a metric and actual
+design-error detection is unclear.  This module makes that comparison
+measurable on our machines: it computes *controller coverage* (visited
+controller states, exercised tertiary-signal values, exercised CTRL values)
+for any set of runs, so the error-detection campaigns can be compared
+against the metric-driven view.
+
+A "state" is the tuple of controller pipe-register values; tertiary and
+control signals are tracked per signal.  Coverage objects merge, so a test
+suite's coverage is the union over its tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.model.processor import Processor
+from repro.verify.cosim import ProcessorSimulator, Trace
+
+
+@dataclass
+class ControllerCoverage:
+    """Visited controller behaviour of one or more runs."""
+
+    states: set = field(default_factory=set)
+    transitions: set = field(default_factory=set)
+    tertiary_values: dict = field(default_factory=dict)  # name -> set
+    ctrl_values: dict = field(default_factory=dict)  # name -> set
+
+    def merge(self, other: "ControllerCoverage") -> None:
+        self.states |= other.states
+        self.transitions |= other.transitions
+        for name, values in other.tertiary_values.items():
+            self.tertiary_values.setdefault(name, set()).update(values)
+        for name, values in other.ctrl_values.items():
+            self.ctrl_values.setdefault(name, set()).update(values)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def n_transitions(self) -> int:
+        return len(self.transitions)
+
+    def tertiary_value_coverage(self, processor: Processor) -> float:
+        """Fraction of (tertiary signal, domain value) pairs exercised."""
+        total = 0
+        hit = 0
+        for name in processor.controller.cti_signals:
+            domain = processor.controller.network.signal(name).domain
+            total += len(domain)
+            hit += len(self.tertiary_values.get(name, set()) & set(domain))
+        return hit / total if total else 1.0
+
+    def ctrl_value_coverage(self, processor: Processor) -> float:
+        total = 0
+        hit = 0
+        for name in processor.controller.ctrl_signals:
+            domain = processor.controller.network.signal(name).domain
+            total += len(domain)
+            hit += len(self.ctrl_values.get(name, set()) & set(domain))
+        return hit / total if total else 1.0
+
+
+class CoverageCollector:
+    """Runs stimulus on a processor and accumulates controller coverage."""
+
+    def __init__(self, processor: Processor) -> None:
+        self.processor = processor
+        self.coverage = ControllerCoverage()
+        self._csi = [c.q for c in processor.controller.cprs]
+        self._cti = processor.controller.cti_signals
+        self._ctrl = processor.controller.ctrl_signals
+
+    def observe_trace(self, trace: Trace) -> None:
+        previous_state = None
+        for cycle in trace.cycles:
+            ctl = cycle.controller
+            state = tuple(ctl.get(name) for name in self._csi)
+            self.coverage.states.add(state)
+            if previous_state is not None:
+                self.coverage.transitions.add((previous_state, state))
+            previous_state = state
+            for name in self._cti:
+                value = ctl.get(name)
+                if value is not None:
+                    self.coverage.tertiary_values.setdefault(
+                        name, set()
+                    ).add(value)
+            for name in self._ctrl:
+                value = ctl.get(name)
+                if value is not None:
+                    self.coverage.ctrl_values.setdefault(name, set()).add(
+                        value
+                    )
+
+    def observe_stimulus(
+        self,
+        cpi_frames: Sequence[Mapping[str, int]],
+        dpi_frames: Sequence[Mapping[str, int]],
+        stimulus_state: Mapping[str, int] | None = None,
+    ) -> None:
+        sim = ProcessorSimulator(self.processor)
+        if stimulus_state:
+            sim.set_stimulus_state(stimulus_state)
+        self.observe_trace(sim.run(list(cpi_frames), list(dpi_frames)))
+
+    def observe_tests(self, tests: Iterable) -> ControllerCoverage:
+        """Accumulate coverage over TG TestCase objects."""
+        for test in tests:
+            self.observe_stimulus(
+                test.cpi_frames, test.dpi_frames, test.stimulus_state
+            )
+        return self.coverage

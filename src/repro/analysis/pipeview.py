@@ -1,0 +1,67 @@
+"""ASCII rendering of pipeline activity — a debugging aid.
+
+Renders a co-simulation trace as the classic pipeline diagram: one row per
+cycle, one column per selected controller/datapath signal, with value
+formatting per column.  Used by the examples and handy when diagnosing a
+generated test:
+
+    cycle  op_id  stall  branch_taken  fwd_a  alu_mux.y   out
+      0    ADDI     0         0          0    00000000  00000000
+      1    LW       0         0          0    00000004  00000000
+      ...
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.verify.cosim import Trace
+
+#: A column: (header, source, formatter).  ``source`` is "ctl" or "dp".
+Column = tuple[str, str, "Callable[[object], str] | None"]
+
+
+def _default_format(value) -> str:
+    if value is None:
+        return "·"
+    if isinstance(value, int) and value > 9:
+        return f"{value:x}"
+    return str(value)
+
+
+def render_pipeline_trace(
+    trace: Trace,
+    columns: Sequence[Column],
+    decoders: Mapping[str, Mapping[int, str]] | None = None,
+) -> str:
+    """Render ``trace`` as a table.
+
+    ``columns`` selects signals: ("op_id", "ctl", None) reads the
+    controller value, ("out", "dp", None) the datapath net.  ``decoders``
+    maps a column header to a value->mnemonic table (e.g. opcode names).
+    """
+    decoders = decoders or {}
+    headers = ["cycle"] + [c[0] for c in columns]
+    rows: list[list[str]] = []
+    for index, cycle in enumerate(trace.cycles):
+        row = [str(index)]
+        for header, source, formatter in columns:
+            values = cycle.controller if source == "ctl" else cycle.datapath
+            value = values.get(header)
+            if header in decoders and value is not None:
+                text = decoders[header].get(value, str(value))
+            elif formatter is not None:
+                text = formatter(value)
+            else:
+                text = _default_format(value)
+            row.append(text)
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

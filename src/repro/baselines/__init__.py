@@ -1,0 +1,20 @@
+"""Baselines: conventional timeframe search, biased-random generation."""
+
+from repro.baselines.random_gen import (
+    RandomCampaignResult,
+    RandomDlxGenerator,
+    RandomMiniGenerator,
+    RandomProgramConfig,
+    random_campaign,
+)
+from repro.baselines.timeframe import TimeframeJust, search_space_sizes
+
+__all__ = [
+    "RandomCampaignResult",
+    "RandomDlxGenerator",
+    "RandomMiniGenerator",
+    "RandomProgramConfig",
+    "TimeframeJust",
+    "random_campaign",
+    "search_space_sizes",
+]

@@ -1,0 +1,78 @@
+"""The conventional timeframe search organization (Section IV baseline).
+
+The paper's pipeframe organization is compared against the conventional
+iterative-array search whose decision variables are the controller primary
+inputs *plus every state bit* (CSIs), each of which must then be justified
+through the previous timeframe.  We reproduce that baseline on the same
+unrolled controller: the engine is the same PODEM (CtrlJust), but
+
+* CSI instances become decision variables (the "cut" moves from the
+  tertiary signals to the pipe registers), and
+* every decided CSI joins the J-frontier exactly like a decided CTI.
+
+Because CSIs vastly outnumber CTIs for pipelined controllers (n2 >> n3),
+this search space is much larger, and decisions on CSIs can construct
+*unreachable* state combinations that only conflict deep in the search —
+the two effects Section IV predicts and our benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from repro.controller.pipeline import UnrolledController
+from repro.core.ctrljust import CtrlJust
+
+
+class TimeframeJust(CtrlJust):
+    """PODEM justification with the conventional decision variables.
+
+    Identical machinery to :class:`CtrlJust`, but decisions are made on
+    CPI, STS and **CSI** instances; tertiary signals are not cut (they are
+    ordinary driven logic).
+    """
+
+    def __init__(
+        self,
+        unrolled: UnrolledController,
+        max_backtracks: int = 1000,
+    ) -> None:
+        super().__init__(unrolled, max_backtracks=max_backtracks)
+        ctl = unrolled.controller
+        self._decidable = set()
+        self._cti = set()
+        for frame in range(unrolled.n_frames):
+            for name in ctl.cpi_signals + ctl.sts_signals:
+                self._decidable.add(unrolled.instance(frame, name))
+            for cpr in ctl.cprs:
+                inst = unrolled.instance(frame, cpr.q)
+                self._decidable.add(inst)
+                # Decided state bits must be justified through the previous
+                # frame, exactly like cut tertiary signals.
+                self._cti.add(inst)
+
+
+def search_space_sizes(unrolled: UnrolledController) -> dict[str, int]:
+    """Count decision-variable domain bits for both organizations.
+
+    Returns the log2 sizes (in bits) of the per-window search spaces —
+    the quantity Section IV's analysis compares.
+    """
+    network = unrolled.network
+    ctl = unrolled.controller
+
+    def bits_of(names: list[str]) -> int:
+        total = 0
+        for frame in range(unrolled.n_frames):
+            for name in names:
+                domain = network.signal(unrolled.instance(frame, name)).domain
+                total += max(1, (len(domain) - 1).bit_length())
+        return total
+
+    shared = bits_of(ctl.cpi_signals) + bits_of(ctl.sts_signals)
+    pipeframe = shared + bits_of(ctl.cti_signals)
+    timeframe = shared + bits_of([c.q for c in ctl.cprs])
+    return {
+        "pipeframe_bits": pipeframe,
+        "timeframe_bits": timeframe,
+        "pipeframe_justify_bits": bits_of(ctl.cti_signals),
+        "timeframe_justify_bits": bits_of([c.q for c in ctl.cprs]),
+    }

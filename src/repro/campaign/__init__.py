@@ -1,0 +1,33 @@
+"""Campaign drivers, Table-1 reporting and suite serialization."""
+
+from repro.campaign.runner import (
+    CampaignReport,
+    DlxCampaign,
+    ErrorOutcome,
+    MiniCampaign,
+)
+from repro.campaign.serialize import (
+    load_json,
+    realized_dlx_from_dict,
+    realized_dlx_to_dict,
+    report_from_dict,
+    report_to_dict,
+    save_json,
+    testcase_from_dict,
+    testcase_to_dict,
+)
+
+__all__ = [
+    "CampaignReport",
+    "DlxCampaign",
+    "ErrorOutcome",
+    "MiniCampaign",
+    "load_json",
+    "realized_dlx_from_dict",
+    "realized_dlx_to_dict",
+    "report_from_dict",
+    "report_to_dict",
+    "save_json",
+    "testcase_from_dict",
+    "testcase_to_dict",
+]

@@ -1,0 +1,111 @@
+"""Serialize generated verification tests and campaign reports to JSON.
+
+A verification team keeps its generated suites; these helpers give the
+artifacts a stable on-disk form:
+
+* a realized DLX test serializes as assembly text plus the initial
+  register/memory state it needs,
+* a raw TG :class:`TestCase` serializes field-by-field (cycle-indexed
+  stimulus), and
+* a campaign report serializes as its outcome table.
+
+Everything round-trips: ``load_*`` reconstructs an object that behaves
+identically (checked by the test suite via co-simulation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.campaign.runner import CampaignReport, ErrorOutcome
+from repro.core.tg import TestCase
+
+
+def testcase_to_dict(test: TestCase) -> dict[str, Any]:
+    return {
+        "kind": "testcase",
+        "n_frames": test.n_frames,
+        "cpi_frames": test.cpi_frames,
+        "dpi_frames": test.dpi_frames,
+        "stimulus_state": test.stimulus_state,
+        "error": test.error,
+        "activation_frame": test.activation_frame,
+        "observation": list(test.observation) if test.observation else None,
+        "decided_cpi": sorted(
+            [frame, field] for frame, field in test.decided_cpi
+        ),
+    }
+
+
+def testcase_from_dict(data: dict[str, Any]) -> TestCase:
+    if data.get("kind") != "testcase":
+        raise ValueError("not a serialized TestCase")
+    observation = data.get("observation")
+    return TestCase(
+        n_frames=data["n_frames"],
+        cpi_frames=[dict(f) for f in data["cpi_frames"]],
+        dpi_frames=[dict(f) for f in data["dpi_frames"]],
+        stimulus_state=dict(data["stimulus_state"]),
+        error=data["error"],
+        activation_frame=data["activation_frame"],
+        observation=tuple(observation) if observation else None,
+        decided_cpi=frozenset(
+            (frame, field) for frame, field in data["decided_cpi"]
+        ),
+    )
+
+
+def realized_dlx_to_dict(realized) -> dict[str, Any]:
+    from repro.dlx.asm import disassemble
+
+    return {
+        "kind": "dlx-test",
+        "assembly": disassemble(realized.program),
+        "init_regs": list(realized.init_regs),
+        "init_memory": {
+            str(addr): value for addr, value in realized.init_memory.items()
+        },
+    }
+
+
+def realized_dlx_from_dict(data: dict[str, Any]):
+    from repro.dlx.asm import assemble
+    from repro.dlx.realize import RealizedDlxTest
+
+    if data.get("kind") != "dlx-test":
+        raise ValueError("not a serialized DLX test")
+    return RealizedDlxTest(
+        program=assemble(data["assembly"]),
+        init_regs=list(data["init_regs"]),
+        init_memory={
+            int(addr): value for addr, value in data["init_memory"].items()
+        },
+    )
+
+
+def report_to_dict(report: CampaignReport) -> dict[str, Any]:
+    return {
+        "kind": "campaign-report",
+        "total_seconds": report.total_seconds,
+        "outcomes": [vars(o).copy() for o in report.outcomes],
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> CampaignReport:
+    if data.get("kind") != "campaign-report":
+        raise ValueError("not a serialized campaign report")
+    return CampaignReport(
+        outcomes=[ErrorOutcome(**o) for o in data["outcomes"]],
+        total_seconds=data["total_seconds"],
+    )
+
+
+def save_json(obj: dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(obj, handle, indent=1)
+
+
+def load_json(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)

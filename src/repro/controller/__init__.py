@@ -1,0 +1,51 @@
+"""Bit-level controller substrate with three-valued implication (Section III/IV)."""
+
+from repro.controller.network import ControlNetwork, ControlNetworkError
+from repro.controller.nodes import (
+    AndNode,
+    BufNode,
+    ConstNode,
+    ControlNode,
+    EqConstNode,
+    EqNode,
+    InSetNode,
+    MuxNode,
+    NotNode,
+    OrNode,
+    TableNode,
+    XorNode,
+)
+from repro.controller.pipeline import (
+    CprNode,
+    PipelinedController,
+    PipeRegister,
+    UnrolledController,
+    instance_name,
+)
+from repro.controller.signals import Signal, SignalKind, bit_signal, field_signal
+
+__all__ = [
+    "AndNode",
+    "BufNode",
+    "ConstNode",
+    "ControlNetwork",
+    "ControlNetworkError",
+    "ControlNode",
+    "CprNode",
+    "EqConstNode",
+    "EqNode",
+    "InSetNode",
+    "MuxNode",
+    "NotNode",
+    "OrNode",
+    "PipeRegister",
+    "PipelinedController",
+    "Signal",
+    "SignalKind",
+    "TableNode",
+    "UnrolledController",
+    "XorNode",
+    "bit_signal",
+    "field_signal",
+    "instance_name",
+]

@@ -1,0 +1,154 @@
+"""Combinational controller network with three-valued implication."""
+
+from __future__ import annotations
+
+from repro.controller.nodes import ControlNode
+from repro.controller.signals import Signal, SignalKind
+
+
+class ControlNetworkError(Exception):
+    """Raised for structural problems in a control network."""
+
+
+class ControlNetwork:
+    """A DAG of :class:`ControlNode` functions over named signals.
+
+    Signals without a driver are *external* (primary inputs, status inputs,
+    pipe-register outputs).  ``evaluate`` performs one topological sweep of
+    three-valued implication, which reaches the fixpoint because the network
+    is acyclic.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.signals: dict[str, Signal] = {}
+        self.drivers: dict[str, ControlNode] = {}
+        self._topo_cache: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_signal(self, signal: Signal) -> Signal:
+        if signal.name in self.signals:
+            raise ControlNetworkError(f"duplicate signal {signal.name!r}")
+        self.signals[signal.name] = signal
+        self._topo_cache = None
+        return signal
+
+    def drive(self, name: str, node: ControlNode) -> None:
+        """Attach ``node`` as the driver of signal ``name``."""
+        if name not in self.signals:
+            raise ControlNetworkError(f"no signal named {name!r}")
+        if name in self.drivers:
+            raise ControlNetworkError(f"signal {name!r} already driven")
+        for input_name in node.inputs:
+            if input_name not in self.signals:
+                raise ControlNetworkError(
+                    f"node for {name!r} reads unknown signal {input_name!r}"
+                )
+        self.drivers[name] = node
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def signal(self, name: str) -> Signal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise ControlNetworkError(f"no signal named {name!r}") from None
+
+    def external_signals(self) -> list[str]:
+        """Signals not driven by any node (inputs of the network)."""
+        return [name for name in self.signals if name not in self.drivers]
+
+    def signals_of_kind(self, kind: SignalKind) -> list[str]:
+        return [s.name for s in self.signals.values() if s.kind is kind]
+
+    def domains_of(self, node: ControlNode) -> list[tuple[int, ...]]:
+        return [self.signals[name].domain for name in node.inputs]
+
+    def topological_order(self) -> list[str]:
+        """Driven signal names in dependency order; detects cycles."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        order: list[str] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done or name not in self.drivers:
+                return
+            if name in visiting:
+                raise ControlNetworkError(f"combinational cycle through {name!r}")
+            visiting.add(name)
+            for dep in self.drivers[name].inputs:
+                visit(dep)
+            visiting.discard(name)
+            done.add(name)
+            order.append(name)
+
+        for name in sorted(self.drivers):
+            visit(name)
+        self._topo_cache = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Implication
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        assignment: dict[str, int | None],
+        overrides: dict[str, int] | None = None,
+    ) -> dict[str, int | None]:
+        """Three-valued implication sweep.
+
+        ``assignment`` supplies values for external signals (missing ones are
+        X).  ``overrides`` supplies *decided* values for driven signals (the
+        cut tertiary inputs of the pipeframe organization): downstream logic
+        consumes the decided value; the node's own computation is still
+        recorded for the consistency check.
+
+        Returns a complete value map for every signal; for overridden signals
+        the map holds the decided value, and ``computed:<name>`` entries are
+        NOT added — use :meth:`consistency` to compare.
+        """
+        overrides = overrides or {}
+        values: dict[str, int | None] = {}
+        for name in self.signals:
+            if name in self.drivers:
+                continue
+            values[name] = overrides.get(name, assignment.get(name))
+        for name in self.topological_order():
+            node = self.drivers[name]
+            computed = node.eval3([values[i] for i in node.inputs])
+            values[name] = overrides.get(name, computed)
+        return values
+
+    def consistency(
+        self,
+        assignment: dict[str, int | None],
+        overrides: dict[str, int],
+    ) -> tuple[dict[str, int | None], list[str], list[str]]:
+        """Evaluate and classify each overridden signal.
+
+        Returns ``(values, justified, conflicting)``: an overridden signal is
+        *justified* when its driving cone computes exactly the decided value,
+        *conflicting* when the cone computes a different concrete value, and
+        otherwise still open.
+        """
+        values = self.evaluate(assignment, overrides)
+        justified: list[str] = []
+        conflicting: list[str] = []
+        for name, decided in overrides.items():
+            node = self.drivers.get(name)
+            if node is None:
+                continue  # overriding an external signal is just assignment
+            computed = node.eval3([values[i] for i in node.inputs])
+            if computed is None:
+                continue
+            if computed == decided:
+                justified.append(name)
+            else:
+                conflicting.append(name)
+        return values, justified, conflicting

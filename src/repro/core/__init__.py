@@ -1,0 +1,31 @@
+"""Core test-generation engines: C/O states, DPTRACE, DPRELAX, CTRLJUST, TG."""
+
+from repro.core.costates import CState, OState
+from repro.core.ctrljust import CtrlJust, JustResult, JustStatus
+from repro.core.dprelax import (
+    ActivationConstraint,
+    DiscreteRelaxer,
+    RelaxResult,
+    ValueType,
+)
+from repro.core.dptrace import DPTrace, TraceResult, TraceStatus
+from repro.core.tg import TestCase, TestGenerator, TGResult, TGStatus
+
+__all__ = [
+    "ActivationConstraint",
+    "CState",
+    "CtrlJust",
+    "DPTrace",
+    "DiscreteRelaxer",
+    "JustResult",
+    "JustStatus",
+    "OState",
+    "RelaxResult",
+    "TGResult",
+    "TGStatus",
+    "TestCase",
+    "TestGenerator",
+    "TraceResult",
+    "TraceStatus",
+    "ValueType",
+]

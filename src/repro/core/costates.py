@@ -1,0 +1,178 @@
+"""Controllability / observability state algebra of Section V.A (Figure 5).
+
+Path selection attributes a symbolic *C-state* to each port:
+
+* ``C1`` — unknown whether the port can be controlled;
+* ``C2`` — the port cannot be controlled, but open decisions remain in its
+  transitive fanin (so backtracking or further decisions may change it);
+* ``C3`` — the port cannot be controlled and no open decisions remain (its
+  value is determined — e.g. constants, reset-state registers);
+* ``C4`` — the port is controlled (it lies on a justification path).
+
+and an *O-state*:
+
+* ``O1`` — unknown whether the port can be observed;
+* ``O2`` — the port is not observable;
+* ``O3`` — the port is observable.
+
+The propagation rules below implement the per-class tables of Figure 5.  The
+figure in our source is partially illegible, so each table is re-derived from
+the class semantics stated in the text (see each function's docstring); the
+AND-class entries that are legible match.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class CState(enum.IntEnum):
+    """Controllability state of a port (ordered only for convenience)."""
+
+    C1 = 1  # unknown
+    C2 = 2  # not controllable, open decisions in fanin
+    C3 = 3  # not controllable, no open decisions (value determined)
+    C4 = 4  # controlled
+
+
+class OState(enum.IntEnum):
+    """Observability state of a port."""
+
+    O1 = 1  # unknown
+    O2 = 2  # not observable
+    O3 = 3  # observable
+
+
+#: C-states that mean "the port's value is determined under the current
+#: decisions" (side-input condition for observation through ADD modules).
+CLOSED = (CState.C3, CState.C4)
+
+
+def add_c_forward(input_states: Sequence[CState]) -> CState:
+    """C-state of an ADD-class output from its input C-states.
+
+    An ADD-class output is justified by controlling any *single* input, so:
+    one controlled input controls the output; one unknown input leaves it
+    unknown; otherwise it is uncontrollable, open iff any fanin is open.
+    """
+    states = list(input_states)
+    if CState.C4 in states:
+        return CState.C4
+    if CState.C1 in states:
+        return CState.C1
+    if CState.C2 in states:
+        return CState.C2
+    return CState.C3
+
+
+def and_c_forward(input_states: Sequence[CState]) -> CState:
+    """C-state of an AND-class output: *all* inputs must be controlled.
+
+    (Matches the legible entries of Figure 5: e.g. (C3, C1) -> C2 — the
+    output is known uncontrollable but the C1 fanin is still open.)
+    """
+    states = list(input_states)
+    if all(s is CState.C4 for s in states):
+        return CState.C4
+    if all(s in (CState.C3, CState.C4) for s in states):
+        return CState.C3
+    if any(s in (CState.C2, CState.C3) for s in states):
+        return CState.C2
+    return CState.C1
+
+
+def mux_c_forward(
+    input_states: Sequence[CState], selected: int | None
+) -> CState:
+    """C-state of a MUX-class output.
+
+    With the select assigned, the output tracks the selected input.  With
+    the select open, the output is unknown unless *every* data input is
+    already known uncontrollable (then it is C2: uncontrollable but the
+    select decision is still open).
+    """
+    states = list(input_states)
+    if selected is not None:
+        return states[selected]
+    if all(s in (CState.C2, CState.C3) for s in states):
+        return CState.C2
+    return CState.C1
+
+
+def add_o_backward(output_state: OState, side_states: Sequence[CState]) -> OState:
+    """O-state of an ADD-class input from the output O-state.
+
+    An observable ADD output makes an input observable once every side
+    input is *closed* (C3/C4) — its value will be determined, so the error
+    effect passes through unmasked.
+    """
+    if output_state is OState.O2:
+        return OState.O2
+    if output_state is OState.O3 and all(s in CLOSED for s in side_states):
+        return OState.O3
+    return OState.O1
+
+
+def and_o_backward(output_state: OState, side_states: Sequence[CState]) -> OState:
+    """O-state of an AND-class input: side inputs must be *controlled* (C4).
+
+    A side input that is known uncontrollable (C2/C3) blocks observation
+    (O2); an undetermined side input leaves it unknown (O1).
+    """
+    if output_state is OState.O2:
+        return OState.O2
+    if any(s in (CState.C2, CState.C3) for s in side_states):
+        return OState.O2
+    if output_state is OState.O3 and all(s is CState.C4 for s in side_states):
+        return OState.O3
+    return OState.O1
+
+
+def mux_o_backward(
+    output_state: OState, selected: int | None, input_index: int
+) -> OState:
+    """O-state of a MUX-class data input.
+
+    The input is observable iff the output is observable and the select
+    routes this input through; a select routing another input blocks it.
+    """
+    if output_state is OState.O2:
+        return OState.O2
+    if selected is not None and selected != input_index:
+        return OState.O2
+    if selected == input_index and output_state is OState.O3:
+        return OState.O3
+    return OState.O1
+
+
+def net_o_from_sinks(sink_states: Sequence[OState]) -> OState:
+    """O-state of a net (stem): observable through any one of its branches."""
+    states = list(sink_states)
+    if not states:
+        return OState.O2
+    if OState.O3 in states:
+        return OState.O3
+    if all(s is OState.O2 for s in states):
+        return OState.O2
+    return OState.O1
+
+
+def branch_c_from_stem(
+    stem_state: CState, fo_choice: int | None, branch_index: int
+) -> CState:
+    """C-state of a fanout branch given the stem state and the FO variable.
+
+    Only the branch selected by the FO variable may use the stem for
+    justification (Section V.A); the others cannot be controlled while the
+    choice stands, but the decision is open (C2), so backtracking can
+    reassign it.  With the FO variable unassigned the branch tracks the stem
+    except that control is not yet granted (C4 degrades to C1).
+    """
+    if fo_choice is None:
+        return CState.C1 if stem_state is CState.C4 else stem_state
+    if fo_choice == branch_index:
+        return stem_state
+    if stem_state in (CState.C3,):
+        return CState.C3
+    return CState.C2

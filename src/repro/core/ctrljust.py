@@ -1,0 +1,263 @@
+"""CTRLJUST: justification of CTRL objectives in the controller (V.C).
+
+Given objectives ``(c_i, v_i)`` on CTRL signal instances of the unrolled
+controller (produced by DPTRACE) CTRLJUST determines an input sequence —
+values for the CPI and STS signals of each timeframe, starting from the
+controller's reset state — that satisfies every objective.
+
+It is a PODEM-based branch-and-bound whose decision variables are the CPI,
+CTI and STS signal instances (the pipeframe organization of Section IV):
+
+* CPI and STS instances are external signals: deciding them is a plain
+  assignment.
+* CTI instances are *driven* signals that we cut: deciding one lets
+  implication proceed through its consumers immediately, and adds the
+  decided value to the J-frontier — the driving cone must eventually
+  compute the same value, which the implication sweep checks (justified /
+  conflicting classification).
+
+Implication is the three-valued sweep of :class:`ControlNetwork`; the
+backtrace walks each node's ``backtrace_options`` until it reaches an open
+decision variable.  STS decisions are returned to the caller: the datapath
+(DPRELAX) must justify them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.controller.pipeline import UnrolledController
+from repro.controller.signals import SignalKind
+
+
+class JustStatus(enum.Enum):
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+@dataclass
+class JustDecision:
+    """One CTRLJUST decision with untried alternative values."""
+
+    signal: str  # instance name
+    value: int
+    alternatives: list[int]
+    is_cti: bool
+
+
+@dataclass
+class JustResult:
+    """Outcome of a justification run."""
+
+    status: JustStatus
+    assignment: dict[str, int] = field(default_factory=dict)  # CPI/STS insts
+    cti_values: dict[str, int] = field(default_factory=dict)
+    implied: dict[str, int | None] = field(default_factory=dict)
+    backtracks: int = 0
+    decisions: int = 0
+
+    def sts_requirements(
+        self, unrolled: UnrolledController
+    ) -> list[tuple[int, str, int]]:
+        """(frame, signal, value) triples the datapath must justify."""
+        out = []
+        for inst, value in self.assignment.items():
+            frame, name = unrolled.frame_and_signal(inst)
+            if unrolled.controller.network.signal(name).kind is SignalKind.STS:
+                out.append((frame, name, value))
+        return out
+
+    def cpi_sequence(
+        self, unrolled: UnrolledController, defaults: dict[str, int]
+    ) -> list[dict[str, int]]:
+        """Per-frame CPI assignments, filling gaps from ``defaults``."""
+        frames: list[dict[str, int]] = []
+        for frame in range(unrolled.n_frames):
+            frame_values = {}
+            for name in unrolled.controller.cpi_signals:
+                inst = unrolled.instance(frame, name)
+                if inst in self.assignment:
+                    frame_values[name] = self.assignment[inst]
+                elif self.implied.get(inst) is not None:
+                    frame_values[name] = self.implied[inst]
+                else:
+                    frame_values[name] = defaults.get(name, 0)
+            frames.append(frame_values)
+        return frames
+
+    def ctrl_values(
+        self, unrolled: UnrolledController
+    ) -> dict[tuple[int, str], int]:
+        """Concrete implied CTRL values, keyed (frame, signal)."""
+        out: dict[tuple[int, str], int] = {}
+        for name in unrolled.controller.ctrl_signals:
+            for frame in range(unrolled.n_frames):
+                value = self.implied.get(unrolled.instance(frame, name))
+                if value is not None:
+                    out[(frame, name)] = value
+        return out
+
+
+class CtrlJust:
+    """PODEM justification engine over an unrolled controller."""
+
+    def __init__(
+        self,
+        unrolled: UnrolledController,
+        max_backtracks: int = 1000,
+        variant: int = 0,
+    ) -> None:
+        self.unrolled = unrolled
+        self.network = unrolled.network
+        self.max_backtracks = max_backtracks
+        #: Diversification index: rotates backtrace option order so retries
+        #: explore different (equally valid) justifications, e.g. a
+        #: different store opcode for the same memwrite objective.
+        self.variant = variant
+        ctl = unrolled.controller
+        self._decidable: set[str] = set()
+        self._cti: set[str] = set()
+        for frame in range(unrolled.n_frames):
+            for name in ctl.cpi_signals + ctl.sts_signals:
+                self._decidable.add(unrolled.instance(frame, name))
+            for name in ctl.cti_signals:
+                inst = unrolled.instance(frame, name)
+                self._decidable.add(inst)
+                self._cti.add(inst)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def justify(
+        self,
+        objectives: list[tuple[str, int]],
+        pre_assignment: dict[str, int] | None = None,
+    ) -> JustResult:
+        """Satisfy all (instance, value) objectives from the reset state."""
+        for inst, value in objectives:
+            signal = self.network.signal(inst)
+            signal.validate_value(value)
+        assignment: dict[str, int] = dict(pre_assignment or {})
+        cti_values: dict[str, int] = {}
+        stack: list[JustDecision] = []
+        backtracks = 0
+        decision_count = 0
+
+        while True:
+            values, justified, conflicting = self.network.consistency(
+                assignment, cti_values
+            )
+            conflict = bool(conflicting)
+            open_objectives: list[tuple[str, int]] = []
+            if not conflict:
+                for inst, want in objectives:
+                    got = values.get(inst)
+                    if got is None:
+                        open_objectives.append((inst, want))
+                    elif got != want:
+                        conflict = True
+                        break
+            if not conflict:
+                unjustified = [
+                    (inst, cti_values[inst])
+                    for inst in cti_values
+                    if inst not in justified
+                ]
+                if not open_objectives and not unjustified:
+                    return JustResult(
+                        JustStatus.SUCCESS,
+                        assignment=dict(assignment),
+                        cti_values=dict(cti_values),
+                        implied=values,
+                        backtracks=backtracks,
+                        decisions=decision_count,
+                    )
+                # Select an objective and backtrace to a decision.
+                decision = None
+                for inst, want in open_objectives + unjustified:
+                    decision = self._backtrace(inst, want, values, assignment,
+                                               cti_values)
+                    if decision is not None:
+                        break
+                if decision is not None:
+                    self._apply(decision, assignment, cti_values)
+                    stack.append(decision)
+                    decision_count += 1
+                    continue
+                conflict = True  # no way to make progress
+            # Backtrack.
+            while stack:
+                last = stack[-1]
+                self._unapply(last, assignment, cti_values)
+                backtracks += 1
+                if last.alternatives:
+                    last.value = last.alternatives.pop(0)
+                    self._apply(last, assignment, cti_values)
+                    break
+                stack.pop()
+            else:
+                return JustResult(JustStatus.FAILURE, backtracks=backtracks,
+                                  decisions=decision_count)
+            if backtracks > self.max_backtracks:
+                return JustResult(JustStatus.FAILURE, backtracks=backtracks,
+                                  decisions=decision_count)
+
+    # ------------------------------------------------------------------
+    # Decision bookkeeping
+    # ------------------------------------------------------------------
+    def _apply(self, decision: JustDecision, assignment, cti_values) -> None:
+        if decision.is_cti:
+            cti_values[decision.signal] = decision.value
+        else:
+            assignment[decision.signal] = decision.value
+
+    def _unapply(self, decision: JustDecision, assignment, cti_values) -> None:
+        if decision.is_cti:
+            cti_values.pop(decision.signal, None)
+        else:
+            assignment.pop(decision.signal, None)
+
+    # ------------------------------------------------------------------
+    # Backtrace
+    # ------------------------------------------------------------------
+    def _backtrace(
+        self,
+        inst: str,
+        target: int,
+        values: dict[str, int | None],
+        assignment: dict[str, int],
+        cti_values: dict[str, int],
+        _depth: int = 0,
+    ) -> JustDecision | None:
+        """Walk from an objective to an open decision variable."""
+        if _depth > 10_000:  # pragma: no cover - defensive
+            return None
+        if inst in self._decidable and self._open(inst, assignment, cti_values):
+            domain = list(self.network.signal(inst).domain)
+            if target not in domain:
+                return None
+            alternatives = [v for v in domain if v != target]
+            return JustDecision(
+                inst, target, alternatives, is_cti=inst in self._cti
+            )
+        node = self.network.drivers.get(inst)
+        if node is None:
+            return None  # an already-assigned external: cannot help
+        input_values = [values.get(i) for i in node.inputs]
+        domains = self.network.domains_of(node)
+        options = node.backtrace_options(target, input_values, domains)
+        if self.variant and len(options) > 1:
+            shift = self.variant % len(options)
+            options = options[shift:] + options[:shift]
+        for index, want in options:
+            decision = self._backtrace(
+                node.inputs[index], want, values, assignment, cti_values,
+                _depth + 1,
+            )
+            if decision is not None:
+                return decision
+        return None
+
+    def _open(self, inst: str, assignment, cti_values) -> bool:
+        return inst not in assignment and inst not in cti_values

@@ -1,0 +1,468 @@
+"""DPRELAX: value selection in the datapath by discrete relaxation (V.B).
+
+The value-selection problem: given partial CTRL assignments, a set of
+``(signal, value)`` justification requirements on STS/DTO nets, and an error
+to activate, find concrete values for the data primary inputs (and the
+initial contents of *stimulus* registers such as the register-file model)
+over the pipeframe window.
+
+Following Lee & Patel [21] and Section V.B, the solver is an event-driven
+discrete relaxation: each net instance ``(frame, net)`` carries a value and a
+type in {UNASSIGNED, DETERMINED, FIXED}; modules are re-evaluated when a
+connected net changes, and they restore local consistency by changing either
+their output (forward) or one changeable input (backward, using each
+module's ``solve_input`` partial inverse).  The method is incomplete — it
+may fail to converge even when a solution exists — but when DPTRACE has
+pre-selected paths the system is underdetermined and convergence is fast,
+which is the paper's key observation (and one of our benchmark targets).
+
+The erroneous circuit's rail is not relaxed separately: once the good rail
+converges, the erroneous values follow deterministically by re-simulating
+with the error injected (``repro.verify``).  Exposure failures feed back
+unmasking constraints (see ``repro.core.tg``), reproducing the dual
+(error-free, erroneous) pair semantics of the paper with a single set of
+free variables.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.datapath.module import Module
+from repro.datapath.modules import ConstantModule, RegisterModule
+from repro.datapath.netlist import Netlist
+
+NetKey = tuple[int, str]
+
+
+class ValueType(enum.IntEnum):
+    """Assignment strength of a net-instance value."""
+
+    UNASSIGNED = 0
+    DETERMINED = 1  # set by relaxation; may be revised
+    FIXED = 2  # set by a requirement; never changed
+
+
+@dataclass
+class ActivationConstraint:
+    """Require ``value & mask == bits`` at one net instance.
+
+    Used to activate an error: e.g. a bus stuck-at-0 on bit k needs the
+    fault-free value to have bit k = 1.
+    """
+
+    frame: int
+    net: str
+    bits_mask: int
+    bits_value: int
+
+    def satisfied_by(self, value: int) -> bool:
+        return (value & self.bits_mask) == self.bits_value
+
+    def adjust(self, value: int) -> int:
+        """The nearest value satisfying the constraint."""
+        return (value & ~self.bits_mask) | self.bits_value
+
+
+@dataclass
+class RelaxResult:
+    """Outcome of a relaxation run."""
+
+    converged: bool
+    values: dict[NetKey, int]
+    events: int
+    inconsistent: list[str] = field(default_factory=list)
+
+    def dpi_values(self, netlist: Netlist, n_frames: int) -> list[dict[str, int]]:
+        """Per-frame DPI assignments (unassigned inputs default to 0)."""
+        per_frame: list[dict[str, int]] = []
+        for frame in range(n_frames):
+            frame_values = {
+                net.name: self.values.get((frame, net.name), 0) or 0
+                for net in netlist.dpi_nets
+            }
+            per_frame.append(frame_values)
+        return per_frame
+
+
+class DiscreteRelaxer:
+    """Event-driven discrete relaxation over the unrolled datapath."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_frames: int,
+        ctrl: Mapping[tuple[int, str], int],
+        stimulus_registers: frozenset[str] | set[str] = frozenset(),
+        max_events: int = 50_000,
+    ) -> None:
+        self.netlist = netlist
+        self.n_frames = n_frames
+        self.ctrl = dict(ctrl)
+        self.stimulus_registers = frozenset(stimulus_registers)
+        self.max_events = max_events
+        self.values: dict[NetKey, int] = {}
+        self.types: dict[NetKey, ValueType] = {}
+        #: Damping: how often each net instance has been rewritten.  Nets
+        #: that keep oscillating between forward and backward updates are
+        #: eventually treated as if pinned, which breaks livelocks (one of
+        #: the paper's convergence-aiding heuristics).
+        self._churn: dict[NetKey, int] = {}
+        self.churn_limit = 12
+        self.activations: list[ActivationConstraint] = []
+        self._queue: deque = deque()
+        self._queued: set = set()
+        self._events = 0
+        self._inconsistent: set[str] = set()
+        # net name -> module names that touch it (driver + sinks), precomputed.
+        self._touching: dict[str, list[Module]] = {}
+        for module in netlist.combinational_modules:
+            for port in module.data_inputs + module.outputs:
+                if port.net is not None:
+                    self._touching.setdefault(port.net.name, []).append(module)
+        self._registers = netlist.registers
+        self._seed_constants_and_resets()
+
+    # ------------------------------------------------------------------
+    # Constraint entry points
+    # ------------------------------------------------------------------
+    def fix(self, frame: int, net: str, value: int) -> None:
+        """Pin a net instance to a value (a justification requirement)."""
+        key = (frame, net)
+        existing = self.types.get(key, ValueType.UNASSIGNED)
+        if existing is ValueType.FIXED and self.values[key] != value:
+            raise ValueError(
+                f"conflicting FIXED values for {net}@{frame}: "
+                f"{self.values[key]} vs {value}"
+            )
+        self.values[key] = value
+        self.types[key] = ValueType.FIXED
+        self._wake(key)
+
+    def suggest(self, frame: int, net: str, value: int) -> None:
+        """Seed a DETERMINED value (a hint; relaxation may revise it)."""
+        key = (frame, net)
+        if self.types.get(key, ValueType.UNASSIGNED) is ValueType.FIXED:
+            return
+        self.values[key] = value
+        self.types[key] = ValueType.DETERMINED
+        self._wake(key)
+
+    def require_activation(self, constraint: ActivationConstraint) -> None:
+        self.activations.append(constraint)
+
+    def _seed_constants_and_resets(self) -> None:
+        for module in self.netlist.modules.values():
+            if isinstance(module, ConstantModule):
+                for frame in range(self.n_frames):
+                    key = (frame, module.output.net.name)
+                    self.values[key] = module.value
+                    self.types[key] = ValueType.FIXED
+        for reg in self._registers:
+            if reg.name in self.stimulus_registers:
+                continue
+            key = (0, reg.output.net.name)
+            self.values[key] = reg.reset_value
+            self.types[key] = ValueType.FIXED
+
+    # ------------------------------------------------------------------
+    # Event mechanics
+    # ------------------------------------------------------------------
+    def _wake(self, key: NetKey) -> None:
+        frame, net = key
+        for module in self._touching.get(net, []):
+            self._enqueue(("comb", frame, module.name))
+        for reg in self._registers:
+            d_net = reg.data_inputs[0].net.name
+            q_net = reg.output.net.name
+            if net == d_net and frame + 1 < self.n_frames:
+                self._enqueue(("reg", frame + 1, reg.name))
+            if net == q_net:
+                if frame + 1 < self.n_frames:
+                    self._enqueue(("reg", frame + 1, reg.name))
+                if frame > 0:
+                    self._enqueue(("reg", frame, reg.name))
+
+    def _enqueue(self, item) -> None:
+        if item not in self._queued:
+            self._queued.add(item)
+            self._queue.append(item)
+
+    def _set(self, key: NetKey, value: int, vtype: ValueType) -> bool:
+        """Set a value if allowed; returns True when the net changed."""
+        current_type = self.types.get(key, ValueType.UNASSIGNED)
+        if current_type is ValueType.FIXED:
+            return False
+        if self.values.get(key) == value and current_type is vtype:
+            return False
+        if (
+            self.values.get(key) is not None
+            and self._churn.get(key, 0) >= self.churn_limit
+        ):
+            return False  # damped: stop oscillating on this net
+        self._churn[key] = self._churn.get(key, 0) + 1
+        self.values[key] = value
+        self.types[key] = vtype
+        self._wake(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Relaxation core
+    # ------------------------------------------------------------------
+    def relax(self) -> RelaxResult:
+        """Run relaxation to quiescence or the event budget."""
+        self._inconsistent.clear()
+        for frame in range(self.n_frames):
+            for module in self.netlist.combinational_modules:
+                self._enqueue(("comb", frame, module.name))
+            if frame > 0:
+                for reg in self._registers:
+                    self._enqueue(("reg", frame, reg.name))
+        self._events = 0
+        while self._queue and self._events < self.max_events:
+            item = self._queue.popleft()
+            self._queued.discard(item)
+            self._events += 1
+            kind, frame, name = item
+            if kind == "comb":
+                self._process_comb(frame, self.netlist.module(name))
+            else:
+                self._process_reg(frame, name)
+        self._apply_activations()
+        converged = self._check_consistency()
+        return RelaxResult(
+            converged=converged,
+            values=dict(self.values),
+            events=self._events,
+            inconsistent=sorted(self._inconsistent),
+        )
+
+    def _control_values(self, frame: int, module: Module) -> list[int] | None:
+        controls: list[int] = []
+        for port in module.control_inputs:
+            value = self.ctrl.get((frame, port.net.name))
+            if value is None:
+                return None
+            controls.append(value)
+        return controls
+
+    def _process_comb(self, frame: int, module: Module) -> None:
+        controls = self._control_values(frame, module)
+        if controls is None:
+            return  # selection not yet made; nothing to constrain
+        in_keys = [(frame, p.net.name) for p in module.data_inputs]
+        out_key = (frame, module.output.net.name)
+        inputs = [self.values.get(k) for k in in_keys]
+        out = self.values.get(out_key)
+        # Only the inputs the module actually reads under these controls
+        # matter (a mux's deselected inputs stay free); placeholders stand
+        # in for irrelevant unknowns during evaluation.
+        needed = module.needed_inputs(controls)
+        eval_inputs = [
+            v if (v is not None or i in needed) else 0
+            for i, v in enumerate(inputs)
+        ]
+        unknown = [i for i in needed if inputs[i] is None]
+
+        if not unknown:
+            computed = module.evaluate(eval_inputs, controls)
+            if out is None:
+                self._set(out_key, computed, ValueType.DETERMINED)
+            elif out != computed:
+                if self.types.get(out_key) is not ValueType.FIXED:
+                    self._set(out_key, computed, ValueType.DETERMINED)
+                else:
+                    self._repair_backward(
+                        frame, module, in_keys, eval_inputs, out
+                    )
+            return
+
+        if out is not None:
+            # Backward: try to solve exactly one unknown needed input.
+            if len(unknown) == 1:
+                self._solve_one(
+                    frame, module, in_keys, eval_inputs, unknown[0], out
+                )
+            else:
+                # Under-determined: default the extra unknowns to zero and
+                # let events re-fire (a simple mode-exercising heuristic).
+                for i in unknown[1:]:
+                    self._set(in_keys[i], 0, ValueType.DETERMINED)
+        # Output and some inputs unknown: leave for later events.
+
+    def _solve_one(self, frame, module, in_keys, inputs, index, target) -> None:
+        controls = self._control_values(frame, module)
+        value = module.solve_input(index, target, inputs, controls or [])
+        if value is not None:
+            self._set(in_keys[index], value, ValueType.DETERMINED)
+        else:
+            # No solution through this input: recompute forward instead if
+            # the output is revisable; otherwise record the inconsistency.
+            if self.types.get((frame, module.output.net.name)) is ValueType.FIXED:
+                self._inconsistent.add(f"{frame}:{module.name}")
+
+    def _repair_backward(self, frame, module, in_keys, inputs, target) -> None:
+        """Output is FIXED but disagrees: revise one changeable input."""
+        controls = self._control_values(frame, module)
+        for index, key in enumerate(in_keys):
+            if self.types.get(key, ValueType.UNASSIGNED) is ValueType.FIXED:
+                continue
+            value = module.solve_input(index, target, inputs, controls or [])
+            if value is not None:
+                self._set(key, value, ValueType.DETERMINED)
+                return
+        # Joint fallback: for word gates (AND, OR, ...) no *single* input
+        # may suffice, but a uniform value on every revisable input does.
+        if all(
+            self.types.get(key, ValueType.UNASSIGNED) is not ValueType.FIXED
+            for key in in_keys
+        ):
+            widths = [p.width for p in module.data_inputs]
+            for base in (target, ~target):
+                trial = [base & ((1 << w) - 1) for w in widths]
+                if module.evaluate(trial, controls or []) == target:
+                    for key, value in zip(in_keys, trial):
+                        self._set(key, value, ValueType.DETERMINED)
+                    return
+        self._inconsistent.add(f"{frame}:{module.name}")
+
+    def _process_reg(self, frame: int, name: str) -> None:
+        """Enforce the cross-frame register relation q(frame) ~ d(frame-1)."""
+        reg = self.netlist.module(name)
+        assert isinstance(reg, RegisterModule)
+        route = self._register_route(reg, frame - 1)
+        if route is None:
+            return
+        q_key = (frame, reg.output.net.name)
+        if route == "clear":
+            if not self._set(q_key, reg.clear_value, ValueType.DETERMINED):
+                if (
+                    self.types.get(q_key) is ValueType.FIXED
+                    and self.values.get(q_key) != reg.clear_value
+                ):
+                    self._inconsistent.add(f"{frame}:{name}")
+            return
+        if route == "hold":
+            src_key = (frame - 1, reg.output.net.name)
+        else:
+            src_key = (frame - 1, reg.data_inputs[0].net.name)
+        self._equalize(src_key, q_key, f"{frame}:{name}")
+
+    def _equalize(self, a: NetKey, b: NetKey, tag: str) -> None:
+        """Wire constraint a == b; propagate in whichever direction is open."""
+        va, vb = self.values.get(a), self.values.get(b)
+        ta = self.types.get(a, ValueType.UNASSIGNED)
+        tb = self.types.get(b, ValueType.UNASSIGNED)
+        if va is None and vb is None:
+            return
+        if va is not None and vb is None:
+            self._set(b, va, ValueType.DETERMINED)
+        elif vb is not None and va is None:
+            self._set(a, vb, ValueType.DETERMINED)
+        elif va != vb:
+            if tb is not ValueType.FIXED:
+                self._set(b, va, ValueType.DETERMINED)
+            elif ta is not ValueType.FIXED:
+                self._set(a, vb, ValueType.DETERMINED)
+            else:
+                self._inconsistent.add(tag)
+
+    def _register_route(self, reg: RegisterModule, frame: int) -> str | None:
+        idx = 0
+        enable = None
+        if reg.has_enable:
+            enable = self.ctrl.get((frame, reg.control_inputs[idx].net.name))
+            idx += 1
+        clear = None
+        if reg.has_clear:
+            clear = self.ctrl.get((frame, reg.control_inputs[idx].net.name))
+        if reg.has_clear:
+            if clear == 1:
+                return "clear"
+            if clear is None:
+                return None
+        if reg.has_enable:
+            if enable == 0:
+                return "hold"
+            if enable is None:
+                return None
+        return "d"
+
+    # ------------------------------------------------------------------
+    # Activation and convergence checks
+    # ------------------------------------------------------------------
+    def _apply_activations(self) -> None:
+        """Push activation-bit constraints and re-run pending events."""
+        for constraint in self.activations:
+            key = (constraint.frame, constraint.net)
+            value = self.values.get(key)
+            if value is not None and constraint.satisfied_by(value):
+                continue
+            adjusted = constraint.adjust(value or 0)
+            if self.types.get(key) is ValueType.FIXED:
+                if not constraint.satisfied_by(self.values[key]):
+                    self._inconsistent.add(f"activation:{constraint.net}")
+                continue
+            # The activating value is a hard requirement: pin it so the
+            # event cascade repairs *backward* (toward free inputs) instead
+            # of recomputing forward over it.
+            self._set(key, adjusted, ValueType.FIXED)
+        # Drain events triggered by the adjustments.
+        while self._queue and self._events < self.max_events:
+            item = self._queue.popleft()
+            self._queued.discard(item)
+            self._events += 1
+            kind, frame, name = item
+            if kind == "comb":
+                self._process_comb(frame, self.netlist.module(name))
+            else:
+                self._process_reg(frame, name)
+
+    def _check_consistency(self) -> bool:
+        """Verify every evaluable constraint holds on the final values."""
+        if self._inconsistent:
+            return False
+        for frame in range(self.n_frames):
+            for module in self.netlist.combinational_modules:
+                controls = self._control_values(frame, module)
+                if controls is None:
+                    continue
+                inputs = [
+                    self.values.get((frame, p.net.name))
+                    for p in module.data_inputs
+                ]
+                out = self.values.get((frame, module.output.net.name))
+                needed = module.needed_inputs(controls)
+                if any(inputs[i] is None for i in needed) or out is None:
+                    continue
+                eval_inputs = [v if v is not None else 0 for v in inputs]
+                if module.evaluate(eval_inputs, controls) != out:
+                    self._inconsistent.add(f"{frame}:{module.name}")
+            if frame > 0:
+                for reg in self._registers:
+                    route = self._register_route(reg, frame - 1)
+                    if route is None:
+                        continue
+                    q = self.values.get((frame, reg.output.net.name))
+                    if q is None:
+                        continue
+                    if route == "clear":
+                        expected = reg.clear_value
+                    elif route == "hold":
+                        expected = self.values.get(
+                            (frame - 1, reg.output.net.name)
+                        )
+                    else:
+                        expected = self.values.get(
+                            (frame - 1, reg.data_inputs[0].net.name)
+                        )
+                    if expected is not None and q != expected:
+                        self._inconsistent.add(f"{frame}:{reg.name}")
+        for constraint in self.activations:
+            value = self.values.get((constraint.frame, constraint.net))
+            if value is None or not constraint.satisfied_by(value):
+                self._inconsistent.add(f"activation:{constraint.net}")
+        return not self._inconsistent

@@ -1,0 +1,456 @@
+"""TG: the overall test generation algorithm (Figure 3 / Figure 4).
+
+For one design error, TG iterates over pipeframe-window sizes and activation
+frames and coordinates the three engines:
+
+1. **DPTRACE** selects justification and propagation paths for the error
+   site, producing CTRL objectives;
+2. **CTRLJUST** justifies those objectives in the unrolled controller from
+   the reset state, deciding CPI fields, tertiary signals and STS values;
+   the concrete CTRL values it implies are fed back to DPTRACE, which
+   re-checks (and, if needed, re-selects) its paths — the paper's step 6;
+3. **DPRELAX** finds data values that activate the error and justify the
+   STS decisions.
+
+Finally the candidate test is *applied*: the processor is co-simulated
+fault-free and with the error planted, and the test is kept only if the two
+observable traces diverge (exposure is ground truth, never assumed).  When
+exposure fails because a side input masks the difference, relaxation is
+retried with different seed patterns on the free inputs — the
+mode-exercising heuristics of Section V.B.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.controller.pipeline import UnrolledController
+from repro.core.ctrljust import CtrlJust, JustStatus
+from repro.core.dprelax import DiscreteRelaxer
+from repro.core.dptrace import DPTrace, TraceStatus
+from repro.errors.models import DesignError
+from repro.model.processor import Processor
+from repro.verify.cosim import CosimError, ProcessorSimulator, traces_diverge
+
+#: Seed patterns tried on free data inputs when exposure fails (masking).
+#: The mix includes byte-distinct patterns (0x67452301, 0x0F1E2D3C) so that
+#: byte-lane routing errors expose — byte-periodic patterns like 0x55555555
+#: read the same in every lane.
+UNMASK_SEEDS = (
+    None, 0x67452301, 0x55555555, 0xAAAAAAAA, 0x0F1E2D3C, 0xFFFFFFFF, 0x1,
+)
+
+
+class TGStatus(enum.Enum):
+    DETECTED = "detected"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TestCase:
+    """A complete verification test: stimulus for every cycle.
+
+    ``cpi_frames[t]`` / ``dpi_frames[t]`` are the controller / datapath
+    primary inputs of cycle t; ``stimulus_state`` is the initial contents of
+    the stimulus registers (part of the test, realized as a preamble by
+    ISA-level back ends).
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    n_frames: int
+    cpi_frames: list[dict[str, int]]
+    dpi_frames: list[dict[str, int]]
+    stimulus_state: dict[str, int]
+    error: str
+    activation_frame: int
+    observation: tuple[int, str] | None = None
+    #: (frame, field) pairs whose CPI value the search actually decided;
+    #: everything else is a filled-in default, free for realization.
+    decided_cpi: frozenset[tuple[int, str]] = frozenset()
+
+
+@dataclass
+class TGResult:
+    """Outcome and effort statistics for one error."""
+
+    status: TGStatus
+    error: str
+    test: TestCase | None = None
+    backtracks: int = 0
+    dptrace_backtracks: int = 0
+    ctrljust_backtracks: int = 0
+    relax_events: int = 0
+    attempts: int = 0
+    frames_used: int = 0
+    #: Backtracks of the *successful* search only (the paper's Table 1
+    #: counts 50 backtracks across all detected errors — the effort of the
+    #: final searches, not of the failed exploration rounds).
+    final_backtracks: int = 0
+
+
+@dataclass
+class TestGenerator:
+    """TG driver for one processor."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    processor: Processor
+    min_frames: int | None = None
+    max_frames: int | None = None
+    max_rounds: int = 6
+    ctrljust_backtrack_limit: int = 2000
+    dptrace_backtrack_limit: int = 200
+    #: How many rotated justification orders to try when a justified test
+    #: fails the exposure check (e.g. SB chosen where only SW exposes).
+    justify_variants: int = 3
+    #: Optional wall-clock budget per error; exceeded attempts abort (the
+    #: practical analogue of the paper's per-error effort limit).
+    deadline_seconds: float | None = None
+    #: Optional processor-specific divergence check ``(processor, good,
+    #: bad) -> (cycle, net) | None``; defaults to raw DPO comparison.
+    exposure_comparator: object | None = None
+
+    _analyzers: dict[int, object] = field(default_factory=dict, repr=False)
+    _unrolled: dict[int, UnrolledController] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.min_frames is None:
+            self.min_frames = self.processor.n_stages + 1
+        if self.max_frames is None:
+            self.max_frames = self.processor.n_stages + 4
+
+    # ------------------------------------------------------------------
+    # Cached per-window structures
+    # ------------------------------------------------------------------
+    def _analyzer(self, n_frames: int):
+        if n_frames not in self._analyzers:
+            self._analyzers[n_frames] = self.processor.analyzer(n_frames)
+        return self._analyzers[n_frames]
+
+    def _unroll(self, n_frames: int) -> UnrolledController:
+        if n_frames not in self._unrolled:
+            self._unrolled[n_frames] = self.processor.controller.unroll(
+                n_frames
+            )
+        return self._unrolled[n_frames]
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def generate(self, error: DesignError) -> TGResult:
+        """Generate (and verify by co-simulation) a test for ``error``."""
+        import time
+
+        started = time.monotonic()
+        site = self._site_net(error)
+        result = TGResult(TGStatus.ABORTED, error=error.describe())
+        discouraged: set = set()
+        for n_frames in range(self.min_frames, self.max_frames + 1):
+            for act_frame in range(n_frames - 1, -1, -1):
+                if (
+                    self.deadline_seconds is not None
+                    and time.monotonic() - started > self.deadline_seconds
+                ):
+                    return result
+                result.attempts += 1
+                for jv in range(self.justify_variants):
+                    test = self._attempt(
+                        error, site, n_frames, act_frame, result,
+                        discouraged, jv,
+                    )
+                    if test is not None:
+                        result.status = TGStatus.DETECTED
+                        result.test = test
+                        result.frames_used = n_frames
+                        return result
+                    if jv == 0 and not self._had_justification(result):
+                        break  # variants only help when a path justified
+        return result
+
+    def _had_justification(self, result: TGResult) -> bool:
+        return getattr(self, "_last_attempt_justified", False)
+
+    def _site_net(self, error: DesignError) -> str:
+        try:
+            return error.site_net
+        except AttributeError:
+            return error.site_net_in(self.processor.datapath)
+
+    # ------------------------------------------------------------------
+    # One (window, activation frame) attempt
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        error: DesignError,
+        site: str,
+        n_frames: int,
+        act_frame: int,
+        result: TGResult,
+        discouraged: set,
+        justify_variant: int = 0,
+    ) -> TestCase | None:
+        analyzer = self._analyzer(n_frames)
+        unrolled = self._unroll(n_frames)
+        self._last_attempt_justified = False
+
+        # Round-trip DPTRACE <-> CTRLJUST until the paths are consistent
+        # with the implied control values (Figure 3 steps 5-6).  When the
+        # controller cannot justify a path, its CTRL decisions are recorded
+        # as discouraged and DPTRACE re-selects — the TG-level backtrack.
+        implied_ctrl: dict[tuple[int, str], int] = {}
+        accumulated: dict[tuple[int, str], int] = {}
+        control_side_acc: set = set()
+        last_good = None  # (trace, just, implied_ctrl)
+        variant = 0
+        for round_index in range(self.max_rounds):
+            tracer = DPTrace(
+                analyzer, implied_ctrl,
+                max_backtracks=self.dptrace_backtrack_limit,
+                discouraged=discouraged,
+                variant=variant,
+            )
+            trace = tracer.select_paths(site, act_frame)
+            result.dptrace_backtracks += trace.backtracks
+            if trace.status is not TraceStatus.SUCCESS:
+                break  # keep the last consistent pair, if any
+            # Objectives accumulate across rounds: the re-selection after a
+            # successful justification typically adds nothing new, and the
+            # controller must keep satisfying the earlier path objectives.
+            accumulated.update(trace.ctrl_objectives)
+            control_side_acc |= set(trace.control_side)
+            objectives = [
+                (unrolled.instance(frame, name), value)
+                for (frame, name), value in accumulated.items()
+            ]
+            engine = CtrlJust(
+                unrolled, max_backtracks=self.ctrljust_backtrack_limit,
+                variant=justify_variant,
+            )
+            just = engine.justify(objectives)
+            result.ctrljust_backtracks += just.backtracks
+            result.backtracks += just.backtracks
+            if just.status is not JustStatus.SUCCESS:
+                # Find which decision actually breaks justifiability and
+                # discourage only that one; then re-select on a rotated
+                # ordering from a clean slate.
+                for item in self._blame(
+                    unrolled, trace.ctrl_objectives, justify_variant,
+                    set(trace.control_side),
+                ):
+                    discouraged.add(item)
+                accumulated = {}
+                implied_ctrl = {}
+                variant += 1
+                continue
+            new_implied = just.ctrl_values(unrolled)
+            converged = new_implied == implied_ctrl
+            implied_ctrl = new_implied
+            last_good = (trace, just, implied_ctrl)
+            result.final_backtracks = trace.backtracks + just.backtracks
+            self._last_attempt_justified = True
+            if converged:
+                break
+        if last_good is None:
+            return None
+        trace, just, implied_ctrl = last_good
+
+        # Value selection + exposure, with unmasking retries.
+        sts_reqs = just.sts_requirements(unrolled)
+        cpi_frames = just.cpi_sequence(unrolled, self.processor.cpi_defaults)
+        activation_failures = 0
+        cpi_kinds = set(self.processor.controller.cpi_signals)
+        decided_cpi: dict[tuple[int, str], int] = {}
+        for inst, value in {**just.assignment, **just.implied}.items():
+            if value is None:
+                continue
+            frame, name = unrolled.frame_and_signal(inst)
+            if name in cpi_kinds:
+                decided_cpi[(frame, name)] = value
+        for seed in UNMASK_SEEDS:
+            relaxer = DiscreteRelaxer(
+                self.processor.datapath,
+                n_frames,
+                ctrl=implied_ctrl,
+                stimulus_registers=self.processor.stimulus_registers,
+            )
+            constraint = error.activation_constraint(act_frame)
+            if constraint is not None:
+                relaxer.require_activation(constraint)
+            for frame, name, value in sts_reqs:
+                relaxer.fix(frame, name, value)
+            self._bind_cpi_dpi(relaxer, decided_cpi)
+            if seed is not None:
+                for frame in range(n_frames):
+                    for index, net in enumerate(
+                        self.processor.datapath.dpi_nets
+                    ):
+                        key = (frame, net.name)
+                        if key not in relaxer.values:
+                            # Rotate the seed per input so related operands
+                            # get distinct patterns (a & b == a | b would
+                            # hide AND/OR substitutions, for example).
+                            rot = (5 * index + frame) % 32
+                            pattern = ((seed << rot) | (seed >> (32 - rot)))
+                            relaxer.suggest(
+                                frame, net.name,
+                                pattern & ((1 << net.width) - 1),
+                            )
+            relax = relaxer.relax()
+            result.relax_events += relax.events
+            if not relax.converged:
+                unactivated = any(
+                    tag.startswith("activation:") for tag in relax.inconsistent
+                )
+                for constraint in relaxer.activations:
+                    value = relax.values.get(
+                        (constraint.frame, constraint.net)
+                    )
+                    if value is None or not constraint.satisfied_by(value):
+                        unactivated = True
+                    # A pinned activation value that the site's driver
+                    # cannot produce shows up as an inconsistency at the
+                    # driving module.
+                    driver = self.processor.datapath.net(
+                        constraint.net
+                    ).driver
+                    if driver is not None and (
+                        f"{constraint.frame}:{driver.module.name}"
+                        in relax.inconsistent
+                    ):
+                        unactivated = True
+                if unactivated:
+                    # Seeds sometimes flip an activation bit, but repeated
+                    # failures mean the site value is not free under the
+                    # selected paths (e.g. a bit constant for the chosen
+                    # mux select): stop seeding early and let the caller
+                    # re-select the control side.
+                    activation_failures += 1
+                    if activation_failures >= 3:
+                        break
+                continue
+            test = self._build_test(
+                error, act_frame, n_frames, cpi_frames, relax, decided_cpi
+            )
+            divergence = self._exposure_check(error, test)
+            if divergence is not None:
+                test.observation = divergence
+                return test
+        if activation_failures:
+            # The selected justification (e.g. a particular mux-select
+            # closing) pins the site to an unactivatable value: discourage
+            # the control-side decisions so re-selection tries other
+            # closings.  Observe-route decisions are left alone — they are
+            # often the only route to an output.
+            for item in control_side_acc:
+                discouraged.add(item)
+        return None
+
+    def _blame(
+        self,
+        unrolled: UnrolledController,
+        ctrl_objectives: dict,
+        justify_variant: int,
+        control_side: set | None = None,
+    ) -> list:
+        """Greedy conflict localization after a CTRLJUST failure.
+
+        Objectives are added one at a time (in selection order) until the
+        prefix becomes unjustifiable.  The last-added objective is often a
+        *mandatory* route select, so before blaming it we try to pin the
+        conflict on an earlier, flexible (control-side) objective: if
+        removing one makes the prefix justifiable again, that one is
+        blamed instead.  Falls back to blaming everything when even single
+        objectives justify (a genuinely joint conflict).
+        """
+
+        def justify(instances) -> bool:
+            engine = CtrlJust(
+                unrolled,
+                max_backtracks=max(200, self.ctrljust_backtrack_limit // 4),
+                variant=justify_variant,
+            )
+            return engine.justify(instances).status is JustStatus.SUCCESS
+
+        items = list(ctrl_objectives.items())
+        prefix: list = []
+        for index, ((frame, name), value) in enumerate(items):
+            prefix.append((unrolled.instance(frame, name), value))
+            if justify(prefix):
+                continue
+            # Prefer re-blaming an earlier flexible decision over the one
+            # that happened to close the conflict.
+            preferred = [
+                j for j in range(index)
+                if control_side is None or items[j] in control_side
+            ]
+            for j in preferred:
+                trimmed = prefix[:j] + prefix[j + 1:]
+                if justify(trimmed):
+                    return [items[j]]
+            return [((frame, name), value)]
+        return items  # joint conflict: no single culprit found
+
+    def _bind_cpi_dpi(self, relaxer: DiscreteRelaxer, decided_cpi) -> None:
+        """Pin DPI nets bound to CPI fields the controller search decided."""
+        for cpi_name, dpi_name in self.processor.cpi_dpi_bindings.items():
+            for frame in range(relaxer.n_frames):
+                value = decided_cpi.get((frame, cpi_name))
+                if value is not None:
+                    relaxer.fix(frame, dpi_name, value)
+
+    def _build_test(
+        self, error, act_frame, n_frames, cpi_frames, relax, decided_cpi
+    ) -> TestCase:
+        dpi_frames = relax.dpi_values(self.processor.datapath, n_frames)
+        # Fold relaxed values of bound DPIs back into undecided CPI fields.
+        cpi_frames = [dict(f) for f in cpi_frames]
+        for cpi_name, dpi_name in self.processor.cpi_dpi_bindings.items():
+            domain = self.processor.controller.network.signal(cpi_name).domain
+            for frame in range(n_frames):
+                if (frame, cpi_name) in decided_cpi:
+                    continue
+                value = dpi_frames[frame].get(dpi_name)
+                if value is not None and value in domain:
+                    cpi_frames[frame][cpi_name] = value
+        stimulus = {}
+        for reg_name in self.processor.stimulus_registers:
+            reg = self.processor.datapath.module(reg_name)
+            value = relax.values.get((0, reg.output.net.name))
+            stimulus[reg_name] = value if value is not None else 0
+        return TestCase(
+            n_frames=n_frames,
+            cpi_frames=cpi_frames,
+            dpi_frames=dpi_frames,
+            stimulus_state=stimulus,
+            error=error.describe(),
+            activation_frame=act_frame,
+            decided_cpi=frozenset(decided_cpi),
+        )
+
+    # ------------------------------------------------------------------
+    # Ground-truth exposure check
+    # ------------------------------------------------------------------
+    def _exposure_check(
+        self, error: DesignError, test: TestCase
+    ) -> tuple[int, str] | None:
+        try:
+            good_sim = ProcessorSimulator(self.processor)
+            bad_sim = error.attach(self.processor.datapath)
+            bad_cosim = ProcessorSimulator(
+                self.processor,
+                injector=bad_sim.injector,
+                module_overrides=bad_sim.module_overrides,
+            )
+            good_sim.set_stimulus_state(test.stimulus_state)
+            bad_cosim.set_stimulus_state(test.stimulus_state)
+            good = good_sim.run(test.cpi_frames, test.dpi_frames)
+            bad = bad_cosim.run(test.cpi_frames, test.dpi_frames)
+        except CosimError:
+            return None
+        if self.exposure_comparator is not None:
+            return self.exposure_comparator(self.processor, good, bad)
+        return traces_diverge(self.processor, good, bad)

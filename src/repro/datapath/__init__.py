@@ -1,0 +1,27 @@
+"""Word-level datapath substrate (Section III / V.A of the paper).
+
+Public surface: the net/module structures, the module library, the fluent
+:class:`DatapathBuilder`, and the concrete :class:`DatapathSimulator`.
+"""
+
+from repro.datapath.builder import DatapathBuilder
+from repro.datapath.module import Module, ModuleClass
+from repro.datapath.net import Net, NetRole, Port, PortDirection, PortKind
+from repro.datapath.netlist import Netlist, NetlistError
+from repro.datapath.simulate import DatapathSimulator, Injector, no_injection
+
+__all__ = [
+    "DatapathBuilder",
+    "DatapathSimulator",
+    "Injector",
+    "Module",
+    "ModuleClass",
+    "Net",
+    "NetRole",
+    "Netlist",
+    "NetlistError",
+    "Port",
+    "PortDirection",
+    "PortKind",
+    "no_injection",
+]

@@ -1,0 +1,776 @@
+"""The word-level datapath module library.
+
+Every combinational module falls into one of the three path-selection classes
+of Section V.A (ADD / AND / MUX).  Each module implements:
+
+* ``evaluate(inputs, controls)`` — the forward word function, and
+* ``solve_input(index, target, inputs, controls)`` — a partial inverse used
+  by the discrete-relaxation value solver (DPRELAX).  ``None`` means "no
+  value of that input produces the target output" (or the inverse is not
+  supported); relaxation then tries a different net.
+
+Widths are checked at construction; values are unsigned Python ints masked to
+the port width.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datapath.module import Module, ModuleClass
+from repro.utils.bits import (
+    add_overflows,
+    mask,
+    sign_extend,
+    sub_overflows,
+    to_signed,
+    to_unsigned,
+)
+
+
+def _solve_by_candidates(
+    module: Module,
+    index: int,
+    target: int,
+    inputs: Sequence[int | None],
+    controls: Sequence[int],
+    candidates: Sequence[int],
+) -> int | None:
+    """Try candidate values for input ``index``; return the first that works."""
+    trial = list(inputs)
+    width = module.data_inputs[index].width
+    seen: set[int] = set()
+    for candidate in candidates:
+        value = to_unsigned(candidate, width)
+        if value in seen:
+            continue
+        seen.add(value)
+        trial[index] = value
+        if module.evaluate(trial, controls) == target:
+            return value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# ADD class: invertible-through-one-input modules
+# ---------------------------------------------------------------------------
+class AddModule(Module):
+    """Word adder: y = (a + b) mod 2^w."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return to_unsigned(inputs[0] + inputs[1], self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        other = inputs[1 - index]
+        return to_unsigned(target - other, self.width)
+
+
+class SubModule(Module):
+    """Word subtractor: y = (a - b) mod 2^w."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return to_unsigned(inputs[0] - inputs[1], self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        if index == 0:
+            return to_unsigned(target + inputs[1], self.width)
+        return to_unsigned(inputs[0] - target, self.width)
+
+
+class XorModule(Module):
+    """XOR word gate: y = a ^ b (ADD class: invertible through either input)."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (inputs[0] ^ inputs[1]) & mask(self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        return (target ^ inputs[1 - index]) & mask(self.width)
+
+
+class XnorModule(Module):
+    """XNOR word gate: y = ~(a ^ b)."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (~(inputs[0] ^ inputs[1])) & mask(self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        return (~(target ^ inputs[1 - index])) & mask(self.width)
+
+
+class NotModule(Module):
+    """NOT word gate: y = ~a (single input, fully invertible)."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (~inputs[0]) & mask(self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        return (~target) & mask(self.width)
+
+
+class SignExtendModule(Module):
+    """Sign extension from in_width to out_width bits."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, in_width: int, out_width: int) -> None:
+        super().__init__(name)
+        self.in_width = in_width
+        self.out_width = out_width
+        self.add_data_input("a", in_width)
+        self.add_output("y", out_width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return sign_extend(inputs[0], self.in_width, self.out_width)
+
+    def solve_input(self, index, target, inputs, controls):
+        candidate = target & mask(self.in_width)
+        if sign_extend(candidate, self.in_width, self.out_width) == target:
+            return candidate
+        return None
+
+
+class ZeroExtendModule(Module):
+    """Zero extension from in_width to out_width bits."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, in_width: int, out_width: int) -> None:
+        super().__init__(name)
+        self.in_width = in_width
+        self.out_width = out_width
+        self.add_data_input("a", in_width)
+        self.add_output("y", out_width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return inputs[0] & mask(self.in_width)
+
+    def solve_input(self, index, target, inputs, controls):
+        if target <= mask(self.in_width):
+            return target
+        return None
+
+
+class SliceModule(Module):
+    """Bit-field extraction: y = a[lo + out_width - 1 : lo]."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, in_width: int, lo: int, out_width: int) -> None:
+        super().__init__(name)
+        if lo + out_width > in_width:
+            raise ValueError(f"slice [{lo}+{out_width}] exceeds width {in_width}")
+        self.in_width = in_width
+        self.lo = lo
+        self.out_width = out_width
+        self.add_data_input("a", in_width)
+        self.add_output("y", out_width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (inputs[0] >> self.lo) & mask(self.out_width)
+
+    def solve_input(self, index, target, inputs, controls):
+        # Free bits outside the slice are set to zero.
+        return (target & mask(self.out_width)) << self.lo
+
+
+class _PredicateModule(Module):
+    """Base for single-bit predicate modules y = a <op> b (ADD class)."""
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", 1)
+
+    def _predicate(self, a: int, b: int) -> bool:
+        raise NotImplementedError
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return int(self._predicate(inputs[0], inputs[1]))
+
+    def solve_input(self, index, target, inputs, controls):
+        other = inputs[1 - index]
+        w = self.width
+        min_signed = 1 << (w - 1)  # unsigned repr of most negative value
+        max_signed = mask(w - 1) if w > 1 else 0
+        candidates = [other, other + 1, other - 1, 0, 1, mask(w), min_signed, max_signed]
+        return _solve_by_candidates(self, index, target, inputs, controls, candidates)
+
+
+class EqModule(_PredicateModule):
+    """Equality predicate: y = (a == b)."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return a == b
+
+
+class NeModule(_PredicateModule):
+    """Inequality predicate: y = (a != b)."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return a != b
+
+
+class LtModule(_PredicateModule):
+    """Signed less-than predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return to_signed(a, self.width) < to_signed(b, self.width)
+
+
+class LeModule(_PredicateModule):
+    """Signed less-or-equal predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return to_signed(a, self.width) <= to_signed(b, self.width)
+
+
+class GtModule(_PredicateModule):
+    """Signed greater-than predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return to_signed(a, self.width) > to_signed(b, self.width)
+
+
+class GeModule(_PredicateModule):
+    """Signed greater-or-equal predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return to_signed(a, self.width) >= to_signed(b, self.width)
+
+
+class LtuModule(_PredicateModule):
+    """Unsigned less-than predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return a < b
+
+
+class LeuModule(_PredicateModule):
+    """Unsigned less-or-equal predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return a <= b
+
+
+class GtuModule(_PredicateModule):
+    """Unsigned greater-than predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return a > b
+
+
+class GeuModule(_PredicateModule):
+    """Unsigned greater-or-equal predicate."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return a >= b
+
+
+class AddOvfModule(_PredicateModule):
+    """Signed addition overflow predicate (ADDOVF in the paper)."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return add_overflows(a, b, self.width)
+
+
+class SubOvfModule(_PredicateModule):
+    """Signed subtraction overflow predicate (SUBOVF in the paper)."""
+
+    def _predicate(self, a: int, b: int) -> bool:
+        return sub_overflows(a, b, self.width)
+
+
+# ---------------------------------------------------------------------------
+# AND class: all inputs must be controlled to justify the output
+# ---------------------------------------------------------------------------
+class AndModule(Module):
+    """AND word gate: y = a & b."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return inputs[0] & inputs[1]
+
+    def solve_input(self, index, target, inputs, controls):
+        other = inputs[1 - index]
+        if target & ~other & mask(self.width):
+            return None  # target asks for 1-bits the other input masks to 0
+        return target | (~other & mask(self.width))
+
+
+class OrModule(Module):
+    """OR word gate: y = a | b."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return inputs[0] | inputs[1]
+
+    def solve_input(self, index, target, inputs, controls):
+        other = inputs[1 - index]
+        if other & ~target & mask(self.width):
+            return None  # the other input forces 1-bits where target wants 0
+        return target & ~other & mask(self.width)
+
+
+class NandModule(Module):
+    """NAND word gate: y = ~(a & b)."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (~(inputs[0] & inputs[1])) & mask(self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        inverted = (~target) & mask(self.width)
+        other = inputs[1 - index]
+        if inverted & ~other & mask(self.width):
+            return None
+        return inverted | (~other & mask(self.width))
+
+
+class NorModule(Module):
+    """NOR word gate: y = ~(a | b)."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (~(inputs[0] | inputs[1])) & mask(self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        inverted = (~target) & mask(self.width)
+        other = inputs[1 - index]
+        if other & ~inverted & mask(self.width):
+            return None
+        return inverted & ~other & mask(self.width)
+
+
+class ConcatModule(Module):
+    """Concatenation: y = {b, a} with a in the low bits.
+
+    AND class: every input must be controlled to justify the output.  (The
+    observation rule of the AND class is conservative for concat — side
+    inputs do not actually mask each other — which is safe for path
+    selection.)
+    """
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, low_width: int, high_width: int) -> None:
+        super().__init__(name)
+        self.low_width = low_width
+        self.high_width = high_width
+        self.add_data_input("a", low_width)
+        self.add_data_input("b", high_width)
+        self.add_output("y", low_width + high_width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return (inputs[1] << self.low_width) | (inputs[0] & mask(self.low_width))
+
+    def solve_input(self, index, target, inputs, controls):
+        if index == 0:
+            value = target & mask(self.low_width)
+            trial = [value, inputs[1]]
+        else:
+            value = target >> self.low_width
+            trial = [inputs[0], value]
+        if self.evaluate(trial, controls) == target:
+            return value
+        return None
+
+
+class _ShiftModule(Module):
+    """Base for shifters: y = shift(a, amount).  AND class per the paper."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int, amount_width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.amount_width = amount_width
+        self.add_data_input("a", width)
+        self.add_data_input("amount", amount_width)
+        self.add_output("y", width)
+
+    def _shift(self, a: int, amount: int) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return self._shift(inputs[0], inputs[1])
+
+    def solve_input(self, index, target, inputs, controls):
+        if index == 1:
+            candidates = range(min(self.width, mask(self.amount_width)) + 1)
+            return _solve_by_candidates(self, 1, target, inputs, controls, list(candidates))
+        amount = inputs[1]
+        candidates = [target, target << amount, target >> amount]
+        return _solve_by_candidates(self, 0, target, inputs, controls, candidates)
+
+
+class ShlModule(_ShiftModule):
+    """Logical left shift."""
+
+    def _shift(self, a: int, amount: int) -> int:
+        if amount >= self.width:
+            return 0
+        return (a << amount) & mask(self.width)
+
+
+class ShrModule(_ShiftModule):
+    """Logical right shift."""
+
+    def _shift(self, a: int, amount: int) -> int:
+        if amount >= self.width:
+            return 0
+        return (a & mask(self.width)) >> amount
+
+
+class SraModule(_ShiftModule):
+    """Arithmetic right shift."""
+
+    def _shift(self, a: int, amount: int) -> int:
+        signed = to_signed(a, self.width)
+        if amount >= self.width:
+            amount = self.width - 1
+        return to_unsigned(signed >> amount, self.width)
+
+
+# ---------------------------------------------------------------------------
+# MUX class: control inputs select a data input
+# ---------------------------------------------------------------------------
+class MuxModule(Module):
+    """n-way multiplexer: y = data[sel]; out-of-range selects yield input 0."""
+
+    module_class = ModuleClass.MUX
+
+    def __init__(self, name: str, width: int, n_inputs: int) -> None:
+        super().__init__(name)
+        if n_inputs < 2:
+            raise ValueError("mux needs at least two data inputs")
+        self.width = width
+        self.n_inputs = n_inputs
+        for i in range(n_inputs):
+            self.add_data_input(f"d{i}", width)
+        select_width = max(1, (n_inputs - 1).bit_length())
+        self.add_control_input("sel", select_width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        sel = controls[0]
+        if sel >= self.n_inputs:
+            sel = 0
+        return inputs[sel]
+
+    def needed_inputs(self, controls):
+        sel = controls[0]
+        if sel >= self.n_inputs:
+            sel = 0
+        return [sel]
+
+    def solve_input(self, index, target, inputs, controls):
+        sel = controls[0]
+        if sel >= self.n_inputs:
+            sel = 0
+        if sel != index:
+            return None  # a deselected input cannot influence the output
+        return target
+
+
+class TristateModule(Module):
+    """Tri-state buffer: y = a when enabled, else the bus pull value (0).
+
+    The high-impedance state is modelled as a pull-down to 0, which is how a
+    released bus reads in the word-level simulator.
+    """
+
+    module_class = ModuleClass.MUX
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_control_input("en", 1)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return inputs[0] if controls[0] == 1 else 0
+
+    def needed_inputs(self, controls):
+        return [0] if controls[0] == 1 else []
+
+    def solve_input(self, index, target, inputs, controls):
+        if controls[0] != 1:
+            return None
+        return target
+
+
+# ---------------------------------------------------------------------------
+# Structural modules
+# ---------------------------------------------------------------------------
+class ConstantModule(Module):
+    """Constant source (always controlled; SOURCE class)."""
+
+    module_class = ModuleClass.SOURCE
+
+    def __init__(self, name: str, width: int, value: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.value = to_unsigned(value, width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return self.value
+
+
+class RegisterModule(Module):
+    """A data pipe register (DPR): q <= d on every clock, with optional
+    enable (stall) and clear (squash) control inputs.
+
+    STATE class — registers delimit pipeline stages; the combinational
+    propagation tables never traverse them.  When ``has_enable`` the register
+    holds its value while enable is 0; when ``has_clear`` an asserted clear
+    forces ``clear_value``.
+    """
+
+    module_class = ModuleClass.STATE
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        reset_value: int = 0,
+        has_enable: bool = False,
+        has_clear: bool = False,
+        clear_value: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self.width = width
+        self.reset_value = to_unsigned(reset_value, width)
+        self.clear_value = to_unsigned(clear_value, width)
+        self.has_enable = has_enable
+        self.has_clear = has_clear
+        self.add_data_input("d", width)
+        if has_enable:
+            self.add_control_input("en", 1)
+        if has_clear:
+            self.add_control_input("clr", 1)
+        self.add_output("q", width)
+
+    def next_state(self, current: int, d: int, controls: Sequence[int]) -> int:
+        """Clock-edge semantics given current state, D input and controls."""
+        idx = 0
+        enabled = True
+        if self.has_enable:
+            enabled = controls[idx] == 1
+            idx += 1
+        cleared = False
+        if self.has_clear:
+            cleared = controls[idx] == 1
+        if cleared:
+            return self.clear_value
+        if not enabled:
+            return current
+        return to_unsigned(d, self.width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        raise RuntimeError("registers are clocked; use next_state, not evaluate")
+
+
+class MultModule(Module):
+    """Word multiplier: y = (a * b) mod 2^w.
+
+    AND class: justifying an arbitrary output requires steering *all*
+    inputs (through an odd operand the output is invertible, but an even
+    operand pins the low bits), and observation of one input needs the
+    other controlled to a non-zero-divisor — the conservative AND-class
+    rules cover both.
+    """
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        return to_unsigned(inputs[0] * inputs[1], self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        other = inputs[1 - index]
+        if other % 2 == 1:
+            # Odd factors are invertible modulo 2^w.
+            inverse = pow(other, -1, 1 << self.width)
+            return to_unsigned(target * inverse, self.width)
+        candidates = [target, 0, 1, other]
+        return _solve_by_candidates(self, index, target, inputs, controls,
+                                    candidates)
+
+
+class MinModule(Module):
+    """Word minimum (signed): y = min(a, b).  AND class (both inputs gate
+    which value appears)."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        a, b = inputs
+        return a if to_signed(a, self.width) <= to_signed(b, self.width) else b
+
+    def solve_input(self, index, target, inputs, controls):
+        candidates = [target, inputs[1 - index]]
+        return _solve_by_candidates(self, index, target, inputs, controls,
+                                    candidates)
+
+
+class MaxModule(Module):
+    """Word maximum (signed): y = max(a, b)."""
+
+    module_class = ModuleClass.AND
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_data_input("b", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        a, b = inputs
+        return a if to_signed(a, self.width) >= to_signed(b, self.width) else b
+
+    def solve_input(self, index, target, inputs, controls):
+        candidates = [target, inputs[1 - index]]
+        return _solve_by_candidates(self, index, target, inputs, controls,
+                                    candidates)
+
+
+class AbsModule(Module):
+    """Signed absolute value: y = |a| (two's complement; |min| wraps).
+
+    ADD class: single input; partially invertible (target or -target).
+    """
+
+    module_class = ModuleClass.ADD
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(name)
+        self.width = width
+        self.add_data_input("a", width)
+        self.add_output("y", width)
+
+    def evaluate(self, inputs: Sequence[int], controls: Sequence[int]) -> int:
+        signed = to_signed(inputs[0], self.width)
+        return to_unsigned(abs(signed), self.width)
+
+    def solve_input(self, index, target, inputs, controls):
+        candidates = [target, -target]
+        return _solve_by_candidates(self, 0, target, inputs, controls,
+                                    candidates)
+
+
+class RotlModule(_ShiftModule):
+    """Rotate left by a (masked) amount.  AND class like the shifters."""
+
+    def _shift(self, a: int, amount: int) -> int:
+        amount %= self.width
+        value = a & mask(self.width)
+        return ((value << amount) | (value >> (self.width - amount))) & mask(
+            self.width
+        ) if amount else value
+
+
+class RotrModule(_ShiftModule):
+    """Rotate right by a (masked) amount."""
+
+    def _shift(self, a: int, amount: int) -> int:
+        amount %= self.width
+        value = a & mask(self.width)
+        return ((value >> amount) | (value << (self.width - amount))) & mask(
+            self.width
+        ) if amount else value

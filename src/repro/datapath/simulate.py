@@ -1,0 +1,154 @@
+"""Concrete (two's-complement integer) simulation of datapath netlists.
+
+The simulator evaluates the combinational logic of a netlist for given
+external inputs and register state, and clocks the pipe registers.  An
+optional *injector* transforms net values as they are produced, which is how
+design errors (e.g. bus single-stuck-line errors) are planted into the
+implementation without modifying the netlist itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.datapath.module import ModuleClass
+from repro.datapath.modules import ConstantModule
+from repro.datapath.net import Net
+from repro.datapath.netlist import Netlist
+
+#: An injector maps (net name, fault-free value) -> possibly corrupted value.
+Injector = Callable[[str, int], int]
+
+#: A module override replaces a module's evaluate function (for module
+#: substitution / bus order errors): (inputs, controls) -> output.
+ModuleOverride = Callable[[Sequence[int], Sequence[int]], int]
+
+
+def no_injection(net_name: str, value: int) -> int:
+    """The identity injector (fault-free simulation)."""
+    return value
+
+
+class DatapathSimulator:
+    """Cycle-accurate simulator for a :class:`Netlist`.
+
+    ``state`` maps register module names to their current contents.  External
+    input nets (DPI / DTI / CTRL and register control nets) must be supplied
+    each cycle via ``external``; missing externals default to 0, matching a
+    quiescent environment.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        injector: Injector = no_injection,
+        module_overrides: Mapping[str, ModuleOverride] | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.injector = injector
+        self.module_overrides = dict(module_overrides or {})
+        self.state: dict[str, int] = {
+            reg.name: reg.reset_value for reg in netlist.registers
+        }
+        self._order = netlist.topological_order()
+
+    def reset(self) -> None:
+        """Return all registers to their reset values."""
+        for reg in self.netlist.registers:
+            self.state[reg.name] = reg.reset_value
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, external: Mapping[str, int]) -> dict[str, int]:
+        """Evaluate all net values for the current state and externals."""
+        values: dict[str, int] = {}
+
+        def emit(net: Net, value: int) -> None:
+            values[net.name] = self.injector(net.name, value)
+
+        # Sources: external inputs, constants, register outputs.
+        for net in self.netlist.nets.values():
+            if net.is_external_input:
+                emit(net, external.get(net.name, 0))
+        for module in self.netlist.modules.values():
+            if isinstance(module, ConstantModule):
+                emit(module.output.net, module.value)
+            elif module.module_class is ModuleClass.STATE:
+                emit(module.output.net, self.state[module.name])
+
+        # Combinational modules in topological order.
+        for module in self._order:
+            inputs = [values[p.net.name] for p in module.data_inputs]
+            controls = [values[p.net.name] for p in module.control_inputs]
+            override = self.module_overrides.get(module.name)
+            if override is not None:
+                result = override(inputs, controls)
+            else:
+                result = module.evaluate(inputs, controls)
+            emit(module.output.net, result)
+        return values
+
+    def evaluate_partial(
+        self, external: Mapping[str, int | None]
+    ) -> dict[str, int | None]:
+        """Three-valued evaluation: unknown (None) externals propagate X.
+
+        A module produces a value when its controls and *needed* data inputs
+        are known (a mux with a known select only needs the selected input).
+        Used by the processor co-simulator to resolve the layered
+        controller/datapath dependency within one cycle.
+        """
+        values: dict[str, int | None] = {}
+
+        def emit(net: Net, value: int | None) -> None:
+            if value is None:
+                values[net.name] = None
+            else:
+                values[net.name] = self.injector(net.name, value)
+
+        for net in self.netlist.nets.values():
+            if net.is_external_input:
+                emit(net, external.get(net.name))
+        for module in self.netlist.modules.values():
+            if isinstance(module, ConstantModule):
+                emit(module.output.net, module.value)
+            elif module.module_class is ModuleClass.STATE:
+                emit(module.output.net, self.state[module.name])
+        for module in self._order:
+            inputs = [values[p.net.name] for p in module.data_inputs]
+            controls = [values[p.net.name] for p in module.control_inputs]
+            if any(c is None for c in controls):
+                emit(module.output.net, None)
+                continue
+            needed = module.needed_inputs(controls)
+            if any(inputs[i] is None for i in needed):
+                emit(module.output.net, None)
+                continue
+            eval_inputs = [v if v is not None else 0 for v in inputs]
+            override = self.module_overrides.get(module.name)
+            if override is not None:
+                result = override(eval_inputs, controls)
+            else:
+                result = module.evaluate(eval_inputs, controls)
+            emit(module.output.net, result)
+        return values
+
+    def step(self, external: Mapping[str, int]) -> dict[str, int]:
+        """Evaluate one cycle and clock the registers; returns net values."""
+        values = self.evaluate(external)
+        next_state: dict[str, int] = {}
+        for reg in self.netlist.registers:
+            d_value = values[reg.data_inputs[0].net.name]
+            controls = [values[p.net.name] for p in reg.control_inputs]
+            next_state[reg.name] = reg.next_state(
+                self.state[reg.name], d_value, controls
+            )
+        self.state.update(next_state)
+        return values
+
+    def run(
+        self, externals: list[Mapping[str, int]]
+    ) -> list[dict[str, int]]:
+        """Run a sequence of cycles; returns per-cycle net values."""
+        return [self.step(cycle) for cycle in externals]

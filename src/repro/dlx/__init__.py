@@ -1,0 +1,42 @@
+"""The DLX five-stage pipelined processor (the paper's test vehicle)."""
+
+from repro.dlx.env import DlxEnv, detects
+from repro.dlx.isa import (
+    BRANCHES,
+    IMM_OPS,
+    JUMPS,
+    LOADS,
+    MNEMONICS,
+    NOP,
+    OPCODES,
+    STORES,
+    USES_RS,
+    USES_RT,
+    WRITING_OPS,
+    Instruction,
+    to_cpi,
+)
+from repro.dlx.machine import build_dlx
+from repro.dlx.spec import DlxSpec, DlxSpecResult, Memory
+
+__all__ = [
+    "BRANCHES",
+    "DlxEnv",
+    "DlxSpec",
+    "DlxSpecResult",
+    "IMM_OPS",
+    "Instruction",
+    "JUMPS",
+    "LOADS",
+    "MNEMONICS",
+    "Memory",
+    "NOP",
+    "OPCODES",
+    "STORES",
+    "USES_RS",
+    "USES_RT",
+    "WRITING_OPS",
+    "build_dlx",
+    "detects",
+    "to_cpi",
+]

@@ -1,0 +1,147 @@
+"""A small DLX assembler / disassembler (text front-end).
+
+Accepts the syntax ``Instruction.__str__`` produces, so assemble and
+disassemble round-trip:
+
+    ADD r3, r1, r2          ; R-type: op rd, rs, rt
+    ADDI r2, r1, #5         ; I-type: op rt, rs, #imm
+    SLLI r2, r1, #3
+    LW r2, 8(r1)            ; loads:  op rt, imm(rs)
+    SW 4(r1), r2            ; stores: op imm(rs), rt
+    BEQZ r1                 ; branches: op rs
+    JR r1
+    JAL #16                 ; link value (see repro.dlx.isa)
+    J
+    NOP                     ; alias for ADDI r0, r0, #0
+
+Immediates are decimal or 0x-hex, optionally negative (encoded two's
+complement in 16 bits).  ``;`` and ``#`` at line start introduce comments.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dlx.isa import (
+    BRANCHES,
+    IMM_OPS,
+    LOADS,
+    OPCODES,
+    RTYPE,
+    STORES,
+    Instruction,
+)
+from repro.utils.bits import to_unsigned
+
+
+class AsmError(Exception):
+    """Raised on unparseable assembly text."""
+
+
+_REG = re.compile(r"^r(\d|[12]\d|3[01])$")
+
+
+def _reg(token: str, line_no: int) -> int:
+    match = _REG.match(token.strip().lower())
+    if not match:
+        raise AsmError(f"line {line_no}: bad register {token!r}")
+    return int(match.group(1))
+
+
+def _imm(token: str, line_no: int) -> int:
+    token = token.strip().lstrip("#")
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AsmError(f"line {line_no}: bad immediate {token!r}") from None
+    if not -(1 << 15) <= value < (1 << 16):
+        raise AsmError(f"line {line_no}: immediate {value} out of range")
+    return to_unsigned(value, 16)
+
+
+_MEMREF = re.compile(r"^(?P<imm>[^()]+)\((?P<reg>[^()]+)\)$")
+
+
+def _memref(token: str, line_no: int) -> tuple[int, int]:
+    match = _MEMREF.match(token.strip())
+    if not match:
+        raise AsmError(f"line {line_no}: bad memory operand {token!r}")
+    return _imm(match.group("imm"), line_no), _reg(match.group("reg"), line_no)
+
+
+def assemble_line(line: str, line_no: int = 0) -> Instruction | None:
+    """Assemble one line; returns None for blank/comment lines."""
+    code = line.split(";", 1)[0].strip()
+    if not code or code.startswith("#"):
+        return None
+    parts = code.split(None, 1)
+    mnemonic = parts[0].upper()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = [p.strip() for p in rest.split(",")] if rest else []
+
+    if mnemonic == "NOP":
+        if operands:
+            raise AsmError(f"line {line_no}: NOP takes no operands")
+        return Instruction("ADDI", rs=0, rt=0, imm=0)
+    if mnemonic not in OPCODES:
+        raise AsmError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+    op = OPCODES[mnemonic]
+
+    if op in BRANCHES or mnemonic == "JR":
+        if len(operands) != 1:
+            raise AsmError(f"line {line_no}: {mnemonic} takes one register")
+        return Instruction(mnemonic, rs=_reg(operands[0], line_no))
+    if mnemonic == "J":
+        if operands:
+            raise AsmError(f"line {line_no}: J takes no operands")
+        return Instruction("J")
+    if mnemonic == "JAL":
+        if len(operands) != 1:
+            raise AsmError(f"line {line_no}: JAL takes one immediate")
+        return Instruction("JAL", imm=_imm(operands[0], line_no))
+    if op in LOADS:
+        if len(operands) != 2:
+            raise AsmError(f"line {line_no}: {mnemonic} rt, imm(rs)")
+        rt = _reg(operands[0], line_no)
+        imm, rs = _memref(operands[1], line_no)
+        return Instruction(mnemonic, rs=rs, rt=rt, imm=imm)
+    if op in STORES:
+        if len(operands) != 2:
+            raise AsmError(f"line {line_no}: {mnemonic} imm(rs), rt")
+        imm, rs = _memref(operands[0], line_no)
+        rt = _reg(operands[1], line_no)
+        return Instruction(mnemonic, rs=rs, rt=rt, imm=imm)
+    if op in RTYPE:
+        if len(operands) != 3:
+            raise AsmError(f"line {line_no}: {mnemonic} rd, rs, rt")
+        return Instruction(
+            mnemonic,
+            rd=_reg(operands[0], line_no),
+            rs=_reg(operands[1], line_no),
+            rt=_reg(operands[2], line_no),
+        )
+    if op in IMM_OPS:
+        if len(operands) != 3:
+            raise AsmError(f"line {line_no}: {mnemonic} rt, rs, #imm")
+        return Instruction(
+            mnemonic,
+            rt=_reg(operands[0], line_no),
+            rs=_reg(operands[1], line_no),
+            imm=_imm(operands[2], line_no),
+        )
+    raise AsmError(f"line {line_no}: cannot assemble {mnemonic!r}")
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble a multi-line program."""
+    program = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        instruction = assemble_line(line, line_no)
+        if instruction is not None:
+            program.append(instruction)
+    return program
+
+
+def disassemble(program: list[Instruction]) -> str:
+    """Render a program back to assembly text."""
+    return "\n".join(str(i) for i in program)

@@ -1,0 +1,373 @@
+"""The DLX five-stage pipelined controller.
+
+Stage structure mirrors the datapath: IF holds the incoming instruction
+fields (CPI), IF/ID pipe registers latch them into ID, where the decode
+logic lives; decoded controls ride the ID/EX, EX/MEM and MEM/WB control
+pipe registers alongside the data.
+
+Tertiary signals (the essential instruction interaction, Section III):
+
+* ``stall``         — load-use hazard: the IF/ID registers hold and the
+                      ID/EX registers take a bubble; suppressed while the
+                      stalling instruction is itself being squashed;
+* ``branch_taken``  — a taken BEQZ/BNEZ in EX squashes the two younger
+                      instructions (predict-not-taken);
+* ``fwd_a, fwd_b``  — three-way bypass selects per EX operand
+                      (0: register file, 1: EX/MEM, 2: MEM/WB).
+
+Status inputs from the datapath: ``zero`` (branch condition, EX) and
+``addrlo`` (address low bits, MEM — steer the load/store byte lanes).
+
+With ``branch_prediction=True`` (the paper's DLX "has branch prediction
+logic") a one-bit last-outcome predictor is added: a correctly-predicted
+branch costs no squash at all; a misprediction squashes the two younger
+slots and redirects the fetch unit *forward* (predicted not-taken, actually
+taken) or *back* (predicted taken, actually not-taken).  The prediction is
+purely micro-architectural — the ISA specification is unchanged — and the
+two redirect signals replace ``branch_taken`` as tertiary signals.
+"""
+
+from __future__ import annotations
+
+from repro.controller import (
+    AndNode,
+    Signal,
+    BufNode,
+    ConstNode,
+    EqConstNode,
+    EqNode,
+    InSetNode,
+    NotNode,
+    OrNode,
+    PipelinedController,
+    PipeRegister,
+    SignalKind,
+    TableNode,
+    bit_signal,
+    field_signal,
+)
+from repro.dlx.isa import (
+    IMM_OPS,
+    LOADS,
+    N_REGS,
+    OPCODES,
+    STORES,
+    USES_RS,
+    USES_RT,
+    WRITING_OPS,
+    ZERO_EXT_OPS,
+    alu_sel_for,
+    loadext_for,
+    regdst_for,
+    setcc_sel_for,
+    size_for,
+)
+
+OP_DOMAIN = tuple(range(44))
+REG_DOMAIN = tuple(range(N_REGS))
+ALUSEL_DOMAIN = tuple(range(10))
+SETCC_DOMAIN = tuple(range(6))
+LOADEXT_DOMAIN = tuple(range(5))
+SIZE_DOMAIN = (0, 1, 2)
+REGDST_DOMAIN = (0, 1, 2)
+
+#: Opcode the IF/ID register decodes to when squashed (the canonical NOP:
+#: ADDI r0, r0, 0 — its write is killed by the r0 gate).
+SQUASH_OP = OPCODES["ADDI"]
+
+
+def build_dlx_controller(
+    branch_prediction: bool = False,
+) -> PipelinedController:
+    name = "dlx_bp_ctl" if branch_prediction else "dlx_ctl"
+    ctl = PipelinedController(name, n_stages=5)
+    add = ctl.add_signal
+
+    # ------------------------------------------------------------------
+    # IF: the incoming instruction fields
+    # ------------------------------------------------------------------
+    add(field_signal("op", OP_DOMAIN, SignalKind.CPI, stage=0))
+    add(field_signal("rs", REG_DOMAIN, SignalKind.CPI, stage=0))
+    add(field_signal("rt", REG_DOMAIN, SignalKind.CPI, stage=0))
+    add(field_signal("rd", REG_DOMAIN, SignalKind.CPI, stage=0))
+
+    # ------------------------------------------------------------------
+    # ID: latched instruction and decode
+    # ------------------------------------------------------------------
+    add(field_signal("op_id", OP_DOMAIN, SignalKind.CSI, stage=1))
+    add(field_signal("rs_id", REG_DOMAIN, SignalKind.CSI, stage=1))
+    add(field_signal("rt_id", REG_DOMAIN, SignalKind.CSI, stage=1))
+    add(field_signal("rd_id", REG_DOMAIN, SignalKind.CSI, stage=1))
+
+    decode_bits = [
+        ("regwrite_id", InSetNode("op_id", WRITING_OPS)),
+        ("memread_id", InSetNode("op_id", LOADS)),
+        ("memwrite_id", InSetNode("op_id", STORES)),
+        ("memtoreg_id", InSetNode("op_id", LOADS)),
+        ("alusrc_id", InSetNode("op_id", IMM_OPS)),
+        ("uses_rs_id", InSetNode("op_id", USES_RS)),
+        ("uses_rt_id", InSetNode("op_id", USES_RT)),
+        ("is_beqz_id", EqConstNode("op_id", OPCODES["BEQZ"])),
+        ("is_bnez_id", EqConstNode("op_id", OPCODES["BNEZ"])),
+        ("jump_in_id", InSetNode(
+            "op_id", {OPCODES["J"], OPCODES["JAL"], OPCODES["JR"]}
+        )),
+    ]
+    for name, node in decode_bits:
+        add(bit_signal(name, stage=1))
+        ctl.drive(name, node)
+
+    decode_fields = [
+        ("alu_sel_id", ALUSEL_DOMAIN, alu_sel_for),
+        ("setcc_id", SETCC_DOMAIN, setcc_sel_for),
+        ("loadext_id", LOADEXT_DOMAIN, loadext_for),
+        ("size_id", SIZE_DOMAIN, size_for),
+        ("regdst_id", REGDST_DOMAIN, regdst_for),
+    ]
+    for name, domain, fn in decode_fields:
+        add(field_signal(name, domain, stage=1))
+        ctl.drive(name, TableNode(["op_id"], fn, [OP_DOMAIN]))
+
+    add(field_signal("r31const", (31,), stage=1))
+    ctl.drive("r31const", ConstNode(31))
+    add(field_signal("dest_id", REG_DOMAIN, stage=1))
+    from repro.controller.nodes import MuxNode
+
+    ctl.drive("dest_id", MuxNode("regdst_id", "rt_id", "rd_id", "r31const"))
+
+    # ------------------------------------------------------------------
+    # Status inputs from the datapath
+    # ------------------------------------------------------------------
+    add(bit_signal("zero", SignalKind.STS, stage=2))
+    add(field_signal("addrlo", (0, 1, 2, 3), SignalKind.STS, stage=3))
+
+    # ------------------------------------------------------------------
+    # EX state (ID/EX control pipe registers)
+    # ------------------------------------------------------------------
+    ex_bits = [
+        "regwrite_ex", "memread_ex", "memwrite_ex", "memtoreg_ex",
+        "alusrc_ex", "is_beqz_ex", "is_bnez_ex",
+    ]
+    for name in ex_bits:
+        add(bit_signal(name, SignalKind.CSI, stage=2))
+    add(field_signal("alu_sel_ex", ALUSEL_DOMAIN, SignalKind.CSI, stage=2))
+    add(field_signal("setcc_ex", SETCC_DOMAIN, SignalKind.CSI, stage=2))
+    add(field_signal("loadext_ex", LOADEXT_DOMAIN, SignalKind.CSI, stage=2))
+    add(field_signal("size_ex", SIZE_DOMAIN, SignalKind.CSI, stage=2))
+    add(field_signal("dest_ex", REG_DOMAIN, SignalKind.CSI, stage=2))
+    add(field_signal("rs_ex", REG_DOMAIN, SignalKind.CSI, stage=2))
+    add(field_signal("rt_ex", REG_DOMAIN, SignalKind.CSI, stage=2))
+
+    # ------------------------------------------------------------------
+    # MEM and WB state
+    # ------------------------------------------------------------------
+    for name in ("regwrite_mem", "memread_mem", "memwrite_mem",
+                 "memtoreg_mem"):
+        add(bit_signal(name, SignalKind.CSI, stage=3))
+    add(field_signal("loadext_mem", LOADEXT_DOMAIN, SignalKind.CSI, stage=3))
+    add(field_signal("size_mem", SIZE_DOMAIN, SignalKind.CSI, stage=3))
+    add(field_signal("dest_mem", REG_DOMAIN, SignalKind.CSI, stage=3))
+    for name in ("regwrite_wb", "memtoreg_wb"):
+        add(bit_signal(name, SignalKind.CSI, stage=4))
+    add(field_signal("dest_wb", REG_DOMAIN, SignalKind.CSI, stage=4))
+
+    # ------------------------------------------------------------------
+    # Tertiary signals: hazards, squash, forwarding
+    # ------------------------------------------------------------------
+    # Load-use stall (raw), suppressed when the instruction in ID is being
+    # squashed by a taken branch anyway.
+    add(bit_signal("dest_ex_z", stage=2))
+    ctl.drive("dest_ex_z", EqConstNode("dest_ex", 0))
+    add(bit_signal("dest_ex_nz", stage=2))
+    ctl.drive("dest_ex_nz", NotNode("dest_ex_z"))
+    add(bit_signal("rs_hazard", stage=1))
+    add(bit_signal("rt_hazard", stage=1))
+    add(bit_signal("rs_match_ex", stage=1))
+    add(bit_signal("rt_match_ex", stage=1))
+    ctl.drive("rs_match_ex", EqNode("rs_id", "dest_ex"))
+    ctl.drive("rt_match_ex", EqNode("rt_id", "dest_ex"))
+    ctl.drive("rs_hazard", AndNode(["uses_rs_id", "rs_match_ex"]))
+    ctl.drive("rt_hazard", AndNode(["uses_rt_id", "rt_match_ex"]))
+    add(bit_signal("any_hazard", stage=1))
+    ctl.drive("any_hazard", OrNode(["rs_hazard", "rt_hazard"]))
+    add(bit_signal("stall_raw", stage=1))
+    ctl.drive("stall_raw", AndNode(["memread_ex", "dest_ex_nz", "any_hazard"]))
+
+    add(bit_signal("not_zero", stage=2))
+    ctl.drive("not_zero", NotNode("zero"))
+    add(bit_signal("beqz_taken", stage=2))
+    add(bit_signal("bnez_taken", stage=2))
+    ctl.drive("beqz_taken", AndNode(["is_beqz_ex", "zero"]))
+    ctl.drive("bnez_taken", AndNode(["is_bnez_ex", "not_zero"]))
+    taken_kind = SignalKind.INTERNAL if branch_prediction else SignalKind.CTI
+    add(Signal("branch_taken", (0, 1), taken_kind, stage=2))
+    ctl.drive("branch_taken", OrNode(["beqz_taken", "bnez_taken"]))
+
+    if branch_prediction:
+        # One-bit last-outcome predictor: updated whenever a branch
+        # resolves in EX, consulted at fetch; the prediction travels with
+        # the branch so resolution knows whether the fetch went the wrong
+        # way (squash + redirect) or the right way (no penalty).
+        add(bit_signal("branch_in_ex", stage=2))
+        ctl.drive("branch_in_ex", OrNode(["is_beqz_ex", "is_bnez_ex"]))
+        add(bit_signal("pred", SignalKind.CSI, stage=0))
+        ctl.add_cpr(PipeRegister(
+            "pred", "branch_taken", stage=0, reset=0, enable="branch_in_ex",
+        ))
+        add(bit_signal("is_branch_if", stage=0))
+        ctl.drive("is_branch_if", InSetNode(
+            "op", {OPCODES["BEQZ"], OPCODES["BNEZ"]}
+        ))
+        add(Signal("predict_taken", (0, 1), SignalKind.CPO, stage=0))
+        ctl.drive("predict_taken", AndNode(["is_branch_if", "pred"]))
+        add(bit_signal("predicted_id", SignalKind.CSI, stage=1))
+        add(bit_signal("predicted_ex", SignalKind.CSI, stage=2))
+        add(bit_signal("not_predicted_ex", stage=2))
+        ctl.drive("not_predicted_ex", NotNode("predicted_ex"))
+        add(bit_signal("not_taken_ex", stage=2))
+        ctl.drive("not_taken_ex", NotNode("branch_taken"))
+        add(bit_signal("redirect_forward", SignalKind.CTI, stage=2))
+        add(bit_signal("redirect_back", SignalKind.CTI, stage=2))
+        ctl.drive("redirect_forward",
+                  AndNode(["branch_taken", "not_predicted_ex"]))
+        ctl.drive("redirect_back",
+                  AndNode(["branch_in_ex", "not_taken_ex", "predicted_ex"]))
+        add(bit_signal("squash", stage=2))
+        ctl.drive("squash", OrNode(["redirect_forward", "redirect_back"]))
+        squash_signal = "squash"
+    else:
+        squash_signal = "branch_taken"
+
+    add(bit_signal("not_squash", stage=2))
+    ctl.drive("not_squash", NotNode(squash_signal))
+    add(bit_signal("stall", SignalKind.CTI, stage=1))
+    ctl.drive("stall", AndNode(["stall_raw", "not_squash"]))
+    add(bit_signal("not_stall", stage=1))
+    ctl.drive("not_stall", NotNode("stall"))
+
+    add(bit_signal("if_id_clear", stage=1))
+    add(bit_signal("jump_advancing", stage=1))
+    ctl.drive("jump_advancing", AndNode(["jump_in_id", "not_stall"]))
+    ctl.drive("if_id_clear", OrNode([squash_signal, "jump_advancing"]))
+    add(bit_signal("id_ex_clear", stage=2))
+    ctl.drive("id_ex_clear", OrNode([squash_signal, "stall"]))
+    if branch_prediction:
+        ctl.add_cpr(PipeRegister(
+            "predicted_id", "predict_taken", stage=1, reset=0,
+            enable="not_stall", clear="if_id_clear", clear_value=0,
+        ))
+        ctl.add_cpr(PipeRegister(
+            "predicted_ex", "predicted_id", stage=2, reset=0,
+            clear="id_ex_clear", clear_value=0,
+        ))
+
+    # Forwarding: per-operand three-way select.
+    add(bit_signal("dest_mem_nz", stage=3))
+    add(bit_signal("dest_mem_z", stage=3))
+    ctl.drive("dest_mem_z", EqConstNode("dest_mem", 0))
+    ctl.drive("dest_mem_nz", NotNode("dest_mem_z"))
+    add(bit_signal("dest_wb_nz", stage=4))
+    add(bit_signal("dest_wb_z", stage=4))
+    ctl.drive("dest_wb_z", EqConstNode("dest_wb", 0))
+    ctl.drive("dest_wb_nz", NotNode("dest_wb_z"))
+
+    for operand, src in (("a", "rs_ex"), ("b", "rt_ex")):
+        add(bit_signal(f"{operand}_eq_mem", stage=2))
+        add(bit_signal(f"{operand}_eq_wb", stage=2))
+        ctl.drive(f"{operand}_eq_mem", EqNode("dest_mem", src))
+        ctl.drive(f"{operand}_eq_wb", EqNode("dest_wb", src))
+        add(bit_signal(f"{operand}_from_mem", stage=2))
+        add(bit_signal(f"{operand}_from_wb", stage=2))
+        ctl.drive(
+            f"{operand}_from_mem",
+            AndNode(["regwrite_mem", "dest_mem_nz", f"{operand}_eq_mem"]),
+        )
+        ctl.drive(
+            f"{operand}_from_wb",
+            AndNode(["regwrite_wb", "dest_wb_nz", f"{operand}_eq_wb"]),
+        )
+        add(field_signal(f"fwd_{operand}", (0, 1, 2), SignalKind.CTI, stage=2))
+        ctl.drive(
+            f"fwd_{operand}",
+            TableNode(
+                [f"{operand}_from_mem", f"{operand}_from_wb"],
+                lambda m, w: 1 if m else (2 if w else 0),
+                [(0, 1), (0, 1)],
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Control outputs to the datapath
+    # ------------------------------------------------------------------
+    ctrl_outputs = [
+        ("ext_sel", (0, 1), 1, InSetNode("op_id", ZERO_EXT_OPS)),
+        ("fwd_a_ctl", (0, 1, 2), 2, BufNode("fwd_a")),
+        ("fwd_b_ctl", (0, 1, 2), 2, BufNode("fwd_b")),
+        ("alusrc", (0, 1), 2, BufNode("alusrc_ex")),
+        ("alu_sel", ALUSEL_DOMAIN, 2, BufNode("alu_sel_ex")),
+        ("setcc_sel", SETCC_DOMAIN, 2, BufNode("setcc_ex")),
+        ("bytesel_ctl", (0, 1, 2, 3), 3, BufNode("addrlo")),
+        ("loadext_ctl", LOADEXT_DOMAIN, 3, BufNode("loadext_mem")),
+        ("memwrite_ctl", (0, 1), 3, BufNode("memwrite_mem")),
+        ("mem_access_ctl", (0, 1), 3, OrNode(["memread_mem", "memwrite_mem"])),
+        ("memtoreg_ctl", (0, 1), 4, BufNode("memtoreg_wb")),
+        ("regwrite_g_ctl", (0, 1), 4, AndNode(["regwrite_wb", "dest_wb_nz"])),
+    ]
+    for name, domain, stage, node in ctrl_outputs:
+        add(field_signal(name, domain, SignalKind.CTRL, stage=stage))
+        ctl.drive(name, node)
+
+    # ------------------------------------------------------------------
+    # Control pipe registers
+    # ------------------------------------------------------------------
+    # IF -> ID: hold on stall, squash to the canonical NOP.
+    ctl.add_cpr(PipeRegister(
+        "op_id", "op", stage=1, reset=SQUASH_OP, enable="not_stall",
+        clear="if_id_clear", clear_value=SQUASH_OP,
+    ))
+    for field in ("rs", "rt", "rd"):
+        ctl.add_cpr(PipeRegister(
+            f"{field}_id", field, stage=1, reset=0, enable="not_stall",
+            clear="if_id_clear", clear_value=0,
+        ))
+    # ID -> EX: bubble on stall or squash.
+    id_ex = [
+        ("regwrite_ex", "regwrite_id"),
+        ("memread_ex", "memread_id"),
+        ("memwrite_ex", "memwrite_id"),
+        ("memtoreg_ex", "memtoreg_id"),
+        ("alusrc_ex", "alusrc_id"),
+        ("is_beqz_ex", "is_beqz_id"),
+        ("is_bnez_ex", "is_bnez_id"),
+        ("alu_sel_ex", "alu_sel_id"),
+        ("setcc_ex", "setcc_id"),
+        ("loadext_ex", "loadext_id"),
+        ("size_ex", "size_id"),
+        ("dest_ex", "dest_id"),
+        ("rs_ex", "rs_id"),
+        ("rt_ex", "rt_id"),
+    ]
+    for q, d in id_ex:
+        ctl.add_cpr(PipeRegister(
+            q, d, stage=2, reset=0, clear="id_ex_clear", clear_value=0
+        ))
+    # EX -> MEM and MEM -> WB: free-running.
+    for q, d in [
+        ("regwrite_mem", "regwrite_ex"),
+        ("memread_mem", "memread_ex"),
+        ("memwrite_mem", "memwrite_ex"),
+        ("memtoreg_mem", "memtoreg_ex"),
+        ("loadext_mem", "loadext_ex"),
+        ("size_mem", "size_ex"),
+        ("dest_mem", "dest_ex"),
+    ]:
+        ctl.add_cpr(PipeRegister(q, d, stage=3, reset=0))
+    for q, d in [
+        ("regwrite_wb", "regwrite_mem"),
+        ("memtoreg_wb", "memtoreg_mem"),
+        ("dest_wb", "dest_mem"),
+    ]:
+        ctl.add_cpr(PipeRegister(q, d, stage=4, reset=0))
+
+    ctl.validate()
+    return ctl

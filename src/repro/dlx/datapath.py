@@ -1,0 +1,158 @@
+"""The DLX five-stage pipelined datapath (word level).
+
+Stage map (stage numbers follow the pipeline): 0 = IF (behavioural fetch —
+the instruction stream is supplied by the environment, so IF contributes no
+datapath logic), 1 = ID, 2 = EX, 3 = MEM, 4 = WB.
+
+Register-file reads and data-memory reads are modelled as data primary
+inputs (test stimulus), writes as gated data primary outputs; the
+environment shim (``repro.dlx.env``) closes the loop when running whole
+programs.  All control inputs (mux selects, gates) are CTRL nets driven by
+the controller; the address low bits feed back to the controller as a status
+field so the byte/halfword extraction muxes stay controller-driven, as the
+Figure 1 model requires.
+
+Bypass structure: the EX/MEM ALU result and the MEM/WB write-back value are
+the two forwarding buses into the EX operand muxes (three-way per operand) —
+these are the datapath's tertiary paths.
+"""
+
+from __future__ import annotations
+
+from repro.datapath import DatapathBuilder
+from repro.datapath.netlist import Netlist
+from repro.dlx.isa import IMM_WIDTH, WIDTH
+
+STAGE_IF, STAGE_ID, STAGE_EX, STAGE_MEM, STAGE_WB = range(5)
+
+
+def build_dlx_datapath() -> Netlist:
+    """Construct the DLX datapath netlist."""
+    b = DatapathBuilder("dlx_dp")
+
+    # ------------------------------------------------------------------
+    # ID: operand fetch and immediate extension
+    # ------------------------------------------------------------------
+    b.set_stage(STAGE_ID)
+    rf_a = b.input("rf_a", WIDTH)  # register-file read port 1 (rs)
+    rf_b = b.input("rf_b", WIDTH)  # register-file read port 2 (rt)
+    imm16 = b.input("imm16", IMM_WIDTH)
+    ext_sel = b.ctrl("ext_sel", 1)  # 0: sign extend, 1: zero extend
+    imm_se = b.sign_extend("imm_sext", imm16, WIDTH)
+    imm_ze = b.zero_extend("imm_zext", imm16, WIDTH)
+    imm_x = b.mux("imm_mux", ext_sel, imm_se, imm_ze)
+
+    # ID/EX pipe registers (data side; control bubbles live in the
+    # controller, so the data registers need no clear).
+    b.set_stage(STAGE_EX)
+    ex_a = b.register("ex_a", rf_a)
+    ex_b = b.register("ex_b", rf_b)
+    ex_imm = b.register("ex_imm", imm_x)
+
+    # ------------------------------------------------------------------
+    # EX: forwarding, ALU, compare units, branch condition
+    # ------------------------------------------------------------------
+    # Forwarding buses come from later stages; declare their registers
+    # first so the muxes can reference them (feedback through registers).
+    b.set_stage(STAGE_MEM)
+    mem_alu = b.placeholder_register("mem_alu", WIDTH)
+    mem_sdata = b.placeholder_register("mem_sdata", WIDTH)
+    b.set_stage(STAGE_WB)
+    wb_alu = b.placeholder_register("wb_alu", WIDTH)
+    wb_load = b.placeholder_register("wb_load", WIDTH)
+    memtoreg = b.ctrl("memtoreg_ctl", 1)
+    wb_value = b.mux("wb_mux", memtoreg, wb_alu, wb_load)
+
+    b.set_stage(STAGE_EX)
+    fwd_a = b.ctrl("fwd_a_ctl", 2)  # 0: register, 1: EX/MEM, 2: MEM/WB
+    fwd_b = b.ctrl("fwd_b_ctl", 2)
+    alusrc = b.ctrl("alusrc", 1)
+    opa = b.mux("opa_mux", fwd_a, ex_a, mem_alu, wb_value)
+    opb_pre = b.mux("opb_fwd_mux", fwd_b, ex_b, mem_alu, wb_value)
+    opb = b.mux("opb_mux", alusrc, opb_pre, ex_imm)
+
+    add_r = b.add("alu_add", opa, opb)
+    sub_r = b.sub("alu_sub", opa, opb)
+    and_r = b.and_("alu_and", opa, opb)
+    or_r = b.or_("alu_or", opa, opb)
+    xor_r = b.xor("alu_xor", opa, opb)
+    shamt = b.slice("shamt", opb, 0, 5)
+    sll_r = b.shl("alu_sll", opa, shamt)
+    srl_r = b.shr("alu_srl", opa, shamt)
+    sra_r = b.sra("alu_sra", opa, shamt)
+
+    # Set-on-compare unit: six predicates, selected and zero-extended.
+    seq_r = b.eq("cmp_eq", opa, opb)
+    sne_r = b.ne("cmp_ne", opa, opb)
+    slt_r = b.lt("cmp_lt", opa, opb)
+    sgt_r = b.gt("cmp_gt", opa, opb)
+    sle_r = b.le("cmp_le", opa, opb)
+    sge_r = b.ge("cmp_ge", opa, opb)
+    setcc_sel = b.ctrl("setcc_sel", 3)
+    setcc_bit = b.mux(
+        "setcc_mux", setcc_sel, seq_r, sne_r, slt_r, sgt_r, sle_r, sge_r
+    )
+    setcc32 = b.zero_extend("setcc_ext", setcc_bit, WIDTH)
+
+    alu_sel = b.ctrl("alu_sel", 4)
+    alu_out = b.mux(
+        "alu_mux", alu_sel,
+        add_r, sub_r, and_r, or_r, xor_r, sll_r, srl_r, sra_r, setcc32, opb,
+    )
+
+    # Branch condition: rs operand compared with zero.
+    zero32 = b.const("zero32", WIDTH, 0)
+    b.status("zero", b.eq("brz_cmp", opa, zero32))
+
+    # EX/MEM pipe registers.
+    b.set_stage(STAGE_MEM)
+    b.connect_register("mem_alu", alu_out)
+    b.connect_register("mem_sdata", opb_pre)
+
+    # ------------------------------------------------------------------
+    # MEM: data-memory interface and load extraction
+    # ------------------------------------------------------------------
+    dmem_rdata = b.input("dmem_rdata", WIDTH)  # aligned word from memory
+    # The address low bits steer the extraction muxes via the controller.
+    b.status("addrlo", b.slice("addrlo_slice", mem_alu, 0, 2))
+    bytesel = b.ctrl("bytesel_ctl", 2)
+    shift0 = b.const("sh0", 5, 0)
+    shift8 = b.const("sh8", 5, 8)
+    shift16 = b.const("sh16", 5, 16)
+    shift24 = b.const("sh24", 5, 24)
+    rshift = b.mux("rshift_mux", bytesel, shift0, shift8, shift16, shift24)
+    rdata_sh = b.shr("rdata_shift", dmem_rdata, rshift)
+    byte_v = b.slice("load_byte", rdata_sh, 0, 8)
+    half_v = b.slice("load_half", rdata_sh, 0, 16)
+    lb_v = b.sign_extend("lb_ext", byte_v, WIDTH)
+    lbu_v = b.zero_extend("lbu_ext", byte_v, WIDTH)
+    lh_v = b.sign_extend("lh_ext", half_v, WIDTH)
+    lhu_v = b.zero_extend("lhu_ext", half_v, WIDTH)
+    loadext = b.ctrl("loadext_ctl", 3)
+    load_val = b.mux(
+        "load_mux", loadext, lb_v, lbu_v, lh_v, lhu_v, rdata_sh
+    )
+
+    # Observable memory interface, gated by the access controls.
+    mem_access = b.ctrl("mem_access_ctl", 1)
+    memwrite = b.ctrl("memwrite_ctl", 1)
+    zero_mem = b.const("zero_mem", WIDTH, 0)
+    addr_o = b.mux("addr_gate", mem_access, zero_mem, mem_alu)
+    wdata_o = b.mux("wdata_gate", memwrite, zero_mem, mem_sdata)
+    b.output("dmem_addr_o", addr_o)
+    b.output("dmem_wdata_o", wdata_o)
+
+    # MEM/WB pipe registers.
+    b.set_stage(STAGE_WB)
+    b.connect_register("wb_alu", mem_alu)
+    b.connect_register("wb_load", load_val)
+
+    # ------------------------------------------------------------------
+    # WB: write-back value, gated observable output
+    # ------------------------------------------------------------------
+    regwrite_g = b.ctrl("regwrite_g_ctl", 1)
+    zero_wb = b.const("zero_wb", WIDTH, 0)
+    wb_out = b.mux("wb_gate", regwrite_g, zero_wb, wb_value)
+    b.output("wb_value_o", wb_out)
+
+    return b.build()

@@ -1,0 +1,235 @@
+"""Environment shim: run DLX programs on the pipelined implementation.
+
+The implementation models register-file and data-memory reads as data
+primary inputs and writes as gated observable outputs (see
+``repro.dlx.datapath``).  ``DlxEnv`` closes the loop, playing the part of
+the register file, the data memory and the fetch unit:
+
+* each cycle it first *previews* the pipeline (state-only evaluation) to
+  commit the write-back and store of the instructions in WB/MEM and to read
+  the ``stall`` tertiary signal (a real fetch unit holds the PC on stall);
+* it then supplies the cycle's stimulus: the next instruction's fields
+  (replayed while stalled), the register read data for the instruction in
+  ID, and the memory word addressed by the instruction in MEM.
+
+The extracted event trace has exactly the specification's format, so
+``detects`` compares implementation and specification directly — the
+paper's simulation-based detection criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.datapath.simulate import Injector, ModuleOverride, no_injection
+from repro.dlx.isa import NOP, N_REGS, WIDTH, Instruction, to_cpi
+from repro.dlx.spec import DlxSpec, DlxSpecResult, Event, Memory, _SIZE_BYTES
+from repro.model.processor import Processor
+from repro.utils.bits import mask, to_unsigned
+from repro.verify.cosim import ProcessorSimulator
+
+
+class DlxEnv:
+    """Drives the DLX implementation with a program."""
+
+    def __init__(
+        self,
+        processor: Processor,
+        injector: Injector = no_injection,
+        module_overrides: Mapping[str, ModuleOverride] | None = None,
+    ) -> None:
+        self.processor = processor
+        self.sim = ProcessorSimulator(
+            processor, injector=injector, module_overrides=module_overrides
+        )
+        #: Branch-prediction controllers expose 'predict_taken'; the fetch
+        #: unit then skips ahead on predicted-taken branches and rewinds on
+        #: a redirect_back misprediction.
+        self.branch_prediction = (
+            "predict_taken" in processor.controller.network.signals
+        )
+
+    # ------------------------------------------------------------------
+    def _preview(self):
+        """State-only resolution of the current cycle (no external data)."""
+        externals = {
+            net.name: None
+            for net in self.processor.datapath.nets.values()
+            if net.is_external_input
+        }
+        ctl_values, dp_values = self.sim.resolve({}, externals)
+        return ctl_values, dp_values
+
+    def run(
+        self,
+        program: Sequence[Instruction],
+        init_regs: Sequence[int] | None = None,
+        init_memory: dict[int, int] | None = None,
+        drain: int = 8,
+        max_cycles: int | None = None,
+    ) -> DlxSpecResult:
+        regs = list(init_regs) if init_regs is not None else [0] * N_REGS
+        regs = [to_unsigned(r, WIDTH) for r in regs]
+        regs[0] = 0
+        memory = Memory()
+        if init_memory:
+            for addr, word in init_memory.items():
+                memory.words[addr & ~0x3 & mask(WIDTH)] = to_unsigned(
+                    word, WIDTH
+                )
+        events: list[Event] = []
+        # Predicted-taken branches skip two slots each, eating into the
+        # drain; pad accordingly so in-flight instructions always retire.
+        n_branches = sum(1 for i in program if i.op in ("BEQZ", "BNEZ"))
+        stream = list(program) + [NOP] * (drain + 2 * n_branches)
+        limit = max_cycles or (len(stream) + 3 * len(stream) + 16)
+
+        position = 0
+        imm_in_id = 0
+        cycles = 0
+        # Shadow pipeline of stream positions (branch prediction only):
+        # which stream slot is in ID / EX, so a redirect_back misprediction
+        # can rewind the fetch position to just after the branch.
+        id_pos: int | None = None
+        ex_pos: int | None = None
+        while position < len(stream) and cycles < limit:
+            cycles += 1
+            ctl, dp = self._preview()
+
+            # Commit the write-back of the instruction in WB.  All
+            # observable values are taken from the gated output pins, so an
+            # error on a pin net corrupts real traffic.
+            if ctl.get("regwrite_g_ctl") == 1:
+                dest = ctl["dest_wb"]
+                value = dp["wb_value_o"]
+                if dest != 0 and value is not None:
+                    regs[dest] = value
+                    events.append(("reg", dest, value))
+
+            # Memory-pin activity of the instruction in MEM.
+            if (
+                ctl.get("mem_access_ctl") == 1
+                and ctl.get("memwrite_ctl") != 1
+            ):
+                address = dp.get("dmem_addr_o")
+                if address is not None:
+                    events.append(("load", address, ctl["size_mem"]))
+
+            # Commit the store of the instruction in MEM.
+            if ctl.get("memwrite_ctl") == 1:
+                address = dp["dmem_addr_o"]
+                data = dp["dmem_wdata_o"]
+                size = ctl["size_mem"]
+                if address is not None and data is not None:
+                    memory.write(address, data, size)
+                    nbytes = _SIZE_BYTES[size]
+                    events.append(
+                        ("mem", address, size, data & mask(8 * nbytes))
+                    )
+
+            stalled = ctl.get("stall") == 1
+            instruction = stream[position]
+
+            # Stimulus for the instruction currently in ID.
+            rs_id = ctl["rs_id"]
+            rt_id = ctl["rt_id"]
+            dpi = {
+                "rf_a": regs[rs_id],
+                "rf_b": regs[rt_id],
+                "imm16": imm_in_id,
+            }
+            # Memory read data for the instruction in MEM (the memory
+            # sees the address pins).
+            mem_address = dp.get("dmem_addr_o")
+            if ctl.get("mem_access_ctl") != 1:
+                mem_address = dp.get("mem_alu.y")
+            if mem_address is not None:
+                dpi["dmem_rdata"] = memory.read_word(mem_address)
+
+            self.sim.step(to_cpi(instruction), dpi)
+
+            if self.branch_prediction:
+                presented_pos = position
+                # Clock the shadow pipeline with the controller's own
+                # gating decisions.
+                if ctl.get("id_ex_clear") == 1:
+                    new_ex_pos = None
+                else:
+                    new_ex_pos = id_pos
+                if ctl.get("if_id_clear") == 1:
+                    id_pos = None
+                elif not stalled:
+                    id_pos = presented_pos
+                ex_at_resolution = ex_pos
+                ex_pos = new_ex_pos
+                # Fetch-unit position update.
+                if ctl.get("redirect_back") == 1 and ex_at_resolution is not None:
+                    # Predicted taken, actually not taken: resume with the
+                    # slot right behind the branch.
+                    position = ex_at_resolution + 1
+                elif not stalled:
+                    imm_in_id = instruction.imm
+                    predicted_taken = (
+                        ctl.get("pred") == 1
+                        and instruction.op in ("BEQZ", "BNEZ")
+                    )
+                    # A predicted-taken branch skips its two shadow slots.
+                    position += 3 if predicted_taken else 1
+            else:
+                if not stalled:
+                    imm_in_id = instruction.imm
+                    position += 1
+
+        return DlxSpecResult(events=events, registers=regs, memory=memory)
+
+
+def detects(
+    processor: Processor,
+    program: Sequence[Instruction],
+    error,
+    init_regs: Sequence[int] | None = None,
+    init_memory: dict[int, int] | None = None,
+) -> bool:
+    """True iff the program distinguishes the erroneous implementation from
+    the ISA specification — the Table 1 detection criterion."""
+    spec = DlxSpec().run(program, init_regs, init_memory)
+    bad = error.attach(processor.datapath)
+    env = DlxEnv(
+        processor,
+        injector=bad.injector,
+        module_overrides=bad.module_overrides,
+    )
+    impl = env.run(program, init_regs, init_memory)
+    return impl.events != spec.events
+
+
+def dlx_exposure_comparator(processor, good, bad):
+    """Transaction-gated divergence check for TG's internal exposure test.
+
+    Compares exactly what the ISA-level detection compares — register
+    write-backs and memory-pin transactions — so a TG "detected" verdict
+    survives realization.  Returns the first (cycle, tag) divergence.
+    """
+
+    def cycle_events(cycle):
+        ctl, dp = cycle.controller, cycle.datapath
+        events = []
+        if ctl.get("regwrite_g_ctl") == 1 and ctl.get("dest_wb") != 0:
+            events.append(("reg", ctl.get("dest_wb"), dp.get("wb_value_o")))
+        if ctl.get("mem_access_ctl") == 1 and ctl.get("memwrite_ctl") != 1:
+            events.append(
+                ("load", dp.get("dmem_addr_o"), ctl.get("size_mem"))
+            )
+        if ctl.get("memwrite_ctl") == 1:
+            size = ctl.get("size_mem")
+            data = dp.get("dmem_wdata_o")
+            if data is not None and size is not None:
+                data &= mask(8 * _SIZE_BYTES[size])
+            events.append(("mem", dp.get("dmem_addr_o"), size, data))
+        return events
+
+    for index, (g, b) in enumerate(zip(good.cycles, bad.cycles)):
+        ge, be = cycle_events(g), cycle_events(b)
+        if ge != be:
+            return (index, "isa-events")
+    return None

@@ -1,0 +1,217 @@
+"""The DLX ISA-level specification simulator.
+
+Executes instructions sequentially with the behavioural sequencing model of
+this reproduction (see ``repro.dlx.isa``): a taken branch skips the next two
+stream slots, a jump skips one.  Memory is little-endian; sub-word accesses
+select the byte lane from the address low bits and never straddle a word
+(matching the implementation's extraction network — misalignment traps are
+not modelled).
+
+The ISA-visible trace is the ordered list of events:
+
+* ``("reg", dest, value)`` — register write (r0 writes are dropped);
+* ``("mem", address, size, data)`` — memory store, data masked to size;
+* ``("load", address, size)`` — memory read: the address/size appear on the
+  processor's memory pins, so a diverging load address is observable even
+  when the loaded value happens to match.
+
+Comparing this trace against the one extracted from the pipelined
+implementation (``repro.dlx.env``) is the detection criterion of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dlx.isa import (
+    ALU_ADD,
+    ALU_AND,
+    ALU_OR,
+    ALU_PASSB,
+    ALU_SETCC,
+    ALU_SLL,
+    ALU_SRA,
+    ALU_SRL,
+    ALU_SUB,
+    ALU_XOR,
+    BRANCHES,
+    IMM_OPS,
+    IMM_WIDTH,
+    JUMPS,
+    LOADS,
+    N_REGS,
+    OPCODES,
+    SETCC_EQ,
+    SETCC_GT,
+    SETCC_LE,
+    SETCC_LT,
+    SETCC_NE,
+    STORES,
+    WIDTH,
+    ZERO_EXT_OPS,
+    Instruction,
+    alu_sel_for,
+    loadext_for,
+    setcc_sel_for,
+    size_for,
+)
+from repro.utils.bits import mask, sign_extend, to_signed, to_unsigned
+
+Event = tuple  # ("reg", dest, value) | ("mem", addr, size, data)
+
+_SIZE_BYTES = {0: 1, 1: 2, 2: 4}
+
+
+class Memory:
+    """Sparse little-endian word memory with sub-word writes."""
+
+    def __init__(self) -> None:
+        self.words: dict[int, int] = {}
+
+    def read_word(self, address: int) -> int:
+        return self.words.get(address & ~0x3 & mask(WIDTH), 0)
+
+    def write(self, address: int, value: int, size: int) -> None:
+        address &= mask(WIDTH)
+        aligned = address & ~0x3
+        lane = address & 0x3
+        nbytes = _SIZE_BYTES[size]
+        write_mask = (mask(8 * nbytes) << (8 * lane)) & mask(WIDTH)
+        data = (value & mask(8 * nbytes)) << (8 * lane)
+        old = self.words.get(aligned, 0)
+        self.words[aligned] = (old & ~write_mask & mask(WIDTH)) | (
+            data & write_mask
+        )
+
+    def load(self, address: int, size: int) -> int:
+        """Raw (unextended) loaded bits: word shifted to the byte lane."""
+        word = self.read_word(address)
+        lane = address & 0x3
+        return (word >> (8 * lane)) & mask(WIDTH)
+
+
+@dataclass
+class DlxSpecResult:
+    """ISA-visible outcome of a program run."""
+
+    events: list[Event] = field(default_factory=list)
+    registers: list[int] = field(default_factory=list)
+    memory: Memory = field(default_factory=Memory)
+
+
+def _alu(op_sel: int, setcc: int, a: int, b: int) -> int:
+    if op_sel == ALU_ADD:
+        return to_unsigned(a + b, WIDTH)
+    if op_sel == ALU_SUB:
+        return to_unsigned(a - b, WIDTH)
+    if op_sel == ALU_AND:
+        return a & b
+    if op_sel == ALU_OR:
+        return a | b
+    if op_sel == ALU_XOR:
+        return a ^ b
+    shamt = b & 0x1F
+    if op_sel == ALU_SLL:
+        return to_unsigned(a << shamt, WIDTH)
+    if op_sel == ALU_SRL:
+        return a >> shamt
+    if op_sel == ALU_SRA:
+        return to_unsigned(to_signed(a, WIDTH) >> shamt, WIDTH)
+    if op_sel == ALU_PASSB:
+        return b
+    assert op_sel == ALU_SETCC
+    sa, sb = to_signed(a, WIDTH), to_signed(b, WIDTH)
+    if setcc == SETCC_EQ:
+        return int(a == b)
+    if setcc == SETCC_NE:
+        return int(a != b)
+    if setcc == SETCC_LT:
+        return int(sa < sb)
+    if setcc == SETCC_GT:
+        return int(sa > sb)
+    if setcc == SETCC_LE:
+        return int(sa <= sb)
+    return int(sa >= sb)
+
+
+def _extend_load(raw: int, loadext: int) -> int:
+    if loadext == 0:  # LB
+        return sign_extend(raw & 0xFF, 8, WIDTH)
+    if loadext == 1:  # LBU
+        return raw & 0xFF
+    if loadext == 2:  # LH
+        return sign_extend(raw & 0xFFFF, 16, WIDTH)
+    if loadext == 3:  # LHU
+        return raw & 0xFFFF
+    return raw  # LW
+
+
+class DlxSpec:
+    """Sequential DLX interpreter."""
+
+    def run(
+        self,
+        program: Sequence[Instruction],
+        init_regs: Sequence[int] | None = None,
+        init_memory: dict[int, int] | None = None,
+    ) -> DlxSpecResult:
+        regs = list(init_regs) if init_regs is not None else [0] * N_REGS
+        if len(regs) != N_REGS:
+            raise ValueError(f"expected {N_REGS} registers")
+        regs = [to_unsigned(r, WIDTH) for r in regs]
+        regs[0] = 0
+        memory = Memory()
+        if init_memory:
+            for addr, word in init_memory.items():
+                memory.words[addr & ~0x3 & mask(WIDTH)] = to_unsigned(
+                    word, WIDTH
+                )
+        events: list[Event] = []
+        skip = 0
+        for instruction in program:
+            if skip:
+                skip -= 1
+                continue
+            op = instruction.opcode
+            a = regs[instruction.rs]
+            b_reg = regs[instruction.rt]
+            imm = instruction.imm
+            if op in ZERO_EXT_OPS:
+                imm_x = imm
+            else:
+                imm_x = sign_extend(imm, IMM_WIDTH, WIDTH)
+            b = imm_x if op in IMM_OPS else b_reg
+
+            if op in BRANCHES:
+                taken = (a == 0) == (op == OPCODES["BEQZ"])
+                if taken:
+                    skip = 2
+                continue
+            if op in JUMPS:
+                if op == OPCODES["JAL"]:
+                    regs[31] = imm_x
+                    events.append(("reg", 31, imm_x))
+                skip = 1
+                continue
+            if op in STORES:
+                address = to_unsigned(a + imm_x, WIDTH)
+                size = size_for(op)
+                memory.write(address, b_reg, size)
+                nbytes = _SIZE_BYTES[size]
+                events.append(
+                    ("mem", address, size, b_reg & mask(8 * nbytes))
+                )
+                continue
+            if op in LOADS:
+                address = to_unsigned(a + imm_x, WIDTH)
+                events.append(("load", address, size_for(op)))
+                raw = memory.load(address, size_for(op))
+                value = _extend_load(raw, loadext_for(op))
+            else:
+                value = _alu(alu_sel_for(op), setcc_sel_for(op), a, b)
+            dest = instruction.dest
+            if dest != 0:
+                regs[dest] = value
+                events.append(("reg", dest, value))
+        return DlxSpecResult(events=events, registers=regs, memory=memory)

@@ -1,0 +1,23 @@
+"""Synthetic design-error models and enumeration (Section VI / [28])."""
+
+from repro.errors.models import (
+    BusOrderError,
+    BusSSLError,
+    DesignError,
+    ModuleSubstitutionError,
+    enumerate_boe,
+    enumerate_bus_ssl,
+    enumerate_ctrl_ssl,
+    enumerate_mse,
+)
+
+__all__ = [
+    "BusOrderError",
+    "BusSSLError",
+    "DesignError",
+    "ModuleSubstitutionError",
+    "enumerate_boe",
+    "enumerate_bus_ssl",
+    "enumerate_ctrl_ssl",
+    "enumerate_mse",
+]

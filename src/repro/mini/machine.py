@@ -1,0 +1,174 @@
+"""The MiniPipe implementation: 3-stage pipelined datapath + controller.
+
+Pipeline structure (predict-not-taken, branch resolved in execute):
+
+* **Stage 0 — operand fetch**: register-file read data (modelled as data
+  primary inputs, i.e. test stimulus) and the immediate are captured into
+  the stage-1 pipe registers.  A squash clears them.
+* **Stage 1 — execute**: per-operand bypass muxes (tertiary data paths from
+  write-back), ALU-src mux, the four ALU function units with a result mux,
+  and the branch comparator producing the ``eq`` status bit.
+* **Stage 2 — write-back**: the result register drives the bypass bus and
+  the observable ``out`` port, gated by ``wb_en``.
+
+The controller mirrors the three stages; its tertiary signals are ``squash``
+(taken branch kills the following instruction) and the two bypass selects
+``fwd_a`` / ``fwd_b``.
+"""
+
+from __future__ import annotations
+
+from repro.controller import (
+    AndNode,
+    BufNode,
+    EqConstNode,
+    EqNode,
+    InSetNode,
+    PipelinedController,
+    PipeRegister,
+    SignalKind,
+    TableNode,
+    bit_signal,
+    field_signal,
+)
+from repro.datapath import DatapathBuilder
+from repro.mini.isa import ALU_OP, IMM_OPS, N_REGS, WIDTH, WRITING_OPS
+from repro.model.processor import Processor
+
+OP_DOMAIN = tuple(range(8))
+REG_DOMAIN = tuple(range(N_REGS))
+ALU_DOMAIN = (0, 1, 2, 3)
+
+
+def build_minipipe_datapath():
+    """The word-level datapath netlist of MiniPipe."""
+    b = DatapathBuilder("minipipe_dp")
+    b.set_stage(0)
+    rf_a = b.input("rf_a", WIDTH)
+    rf_b = b.input("rf_b", WIDTH)
+    imm = b.input("imm", WIDTH)
+    squash_ctl = b.ctrl("squash_ctl", 1)
+    ex_a = b.register("ex_a", rf_a, clear=squash_ctl)
+    ex_b = b.register("ex_b", rf_b, clear=squash_ctl)
+    ex_imm = b.register("ex_imm", imm, clear=squash_ctl)
+
+    b.set_stage(1)
+    fwd_a = b.ctrl("fwd_a_ctl", 1)
+    fwd_b = b.ctrl("fwd_b_ctl", 1)
+    alusrc = b.ctrl("alusrc", 1)
+    alu_op = b.ctrl("alu_op", 2)
+    b.set_stage(2)
+    wb_result = b.placeholder_register("wb_res", WIDTH)
+    b.set_stage(1)
+    opa = b.mux("opa_mux", fwd_a, ex_a, wb_result)
+    opb_fwd = b.mux("opb_fwd_mux", fwd_b, ex_b, wb_result)
+    opb = b.mux("opb_mux", alusrc, opb_fwd, ex_imm)
+    add_r = b.add("alu_add", opa, opb)
+    sub_r = b.sub("alu_sub", opa, opb)
+    and_r = b.and_("alu_and", opa, opb)
+    xor_r = b.xor("alu_xor", opa, opb)
+    alu_out = b.mux("alu_mux", alu_op, add_r, sub_r, and_r, xor_r)
+    b.status("eq", b.eq("cmp", opa, opb))
+
+    b.set_stage(2)
+    b.connect_register("wb_res", alu_out)
+    wb_en = b.ctrl("wb_en", 1)
+    zero = b.const("zero", WIDTH, 0)
+    out = b.mux("out_mux", wb_en, zero, wb_result)
+    b.output("out", out)
+    return b.build()
+
+
+def build_minipipe_controller() -> PipelinedController:
+    """The bit-level controller of MiniPipe."""
+    ctl = PipelinedController("minipipe_ctl", n_stages=3)
+    add = ctl.add_signal
+
+    # Stage 0: instruction fields and decode.
+    add(field_signal("op", OP_DOMAIN, SignalKind.CPI, stage=0))
+    add(field_signal("rs1", REG_DOMAIN, SignalKind.CPI, stage=0))
+    add(field_signal("rs2", REG_DOMAIN, SignalKind.CPI, stage=0))
+    add(field_signal("rd", REG_DOMAIN, SignalKind.CPI, stage=0))
+    add(bit_signal("writes", stage=0))
+    add(bit_signal("uses_imm", stage=0))
+    add(bit_signal("is_beq", stage=0))
+    add(field_signal("aluop_dec", ALU_DOMAIN, stage=0))
+    ctl.drive("writes", InSetNode("op", WRITING_OPS))
+    ctl.drive("uses_imm", InSetNode("op", IMM_OPS))
+    ctl.drive("is_beq", EqConstNode("op", 6))
+    ctl.drive(
+        "aluop_dec",
+        TableNode(["op"], lambda op: ALU_OP[op], [OP_DOMAIN]),
+    )
+
+    # Stage 1 pipe registers (cleared by squash).
+    stage1 = [
+        ("writes_ex", "writes", (0, 1)),
+        ("uses_imm_ex", "uses_imm", (0, 1)),
+        ("is_beq_ex", "is_beq", (0, 1)),
+        ("aluop_ex", "aluop_dec", ALU_DOMAIN),
+        ("rs1_ex", "rs1", REG_DOMAIN),
+        ("rs2_ex", "rs2", REG_DOMAIN),
+        ("rd_ex", "rd", REG_DOMAIN),
+    ]
+    for q, d, domain in stage1:
+        add(field_signal(q, domain, SignalKind.CSI, stage=1))
+    # Stage 2 pipe registers.
+    add(bit_signal("writes_wb", SignalKind.CSI, stage=2))
+    add(field_signal("rd_wb", REG_DOMAIN, SignalKind.CSI, stage=2))
+
+    # Status from the datapath (branch comparison).
+    add(bit_signal("eq", SignalKind.STS, stage=1))
+
+    # Tertiary signals: the essential instruction interaction.
+    add(bit_signal("squash", SignalKind.CTI, stage=1))
+    add(bit_signal("fwd_a", SignalKind.CTI, stage=1))
+    add(bit_signal("fwd_b", SignalKind.CTI, stage=1))
+    add(bit_signal("fwd_a_raw", stage=1))
+    add(bit_signal("fwd_b_raw", stage=1))
+    add(bit_signal("eq_rs1", stage=1))
+    add(bit_signal("eq_rs2", stage=1))
+    ctl.drive("squash", AndNode(["is_beq_ex", "eq"]))
+    ctl.drive("eq_rs1", EqNode("rd_wb", "rs1_ex"))
+    ctl.drive("eq_rs2", EqNode("rd_wb", "rs2_ex"))
+    ctl.drive("fwd_a_raw", AndNode(["writes_wb", "eq_rs1"]))
+    ctl.drive("fwd_b_raw", AndNode(["writes_wb", "eq_rs2"]))
+    ctl.drive("fwd_a", BufNode("fwd_a_raw"))
+    ctl.drive("fwd_b", BufNode("fwd_b_raw"))
+
+    # Control outputs to the datapath.
+    add(bit_signal("alusrc", SignalKind.CTRL, stage=1))
+    add(field_signal("alu_op", ALU_DOMAIN, SignalKind.CTRL, stage=1))
+    add(bit_signal("wb_en", SignalKind.CTRL, stage=2))
+    add(bit_signal("fwd_a_ctl", SignalKind.CTRL, stage=1))
+    add(bit_signal("fwd_b_ctl", SignalKind.CTRL, stage=1))
+    add(bit_signal("squash_ctl", SignalKind.CTRL, stage=0))
+    ctl.drive("alusrc", BufNode("uses_imm_ex"))
+    ctl.drive("alu_op", BufNode("aluop_ex"))
+    ctl.drive("wb_en", BufNode("writes_wb"))
+    ctl.drive("fwd_a_ctl", BufNode("fwd_a"))
+    ctl.drive("fwd_b_ctl", BufNode("fwd_b"))
+    ctl.drive("squash_ctl", BufNode("squash"))
+
+    # CPRs: stage 0 -> 1 (squashable), stage 1 -> 2.
+    for q, d, _ in stage1:
+        ctl.add_cpr(PipeRegister(q=q, d=d, stage=1, clear="squash"))
+    ctl.add_cpr(PipeRegister(q="writes_wb", d="writes_ex", stage=2))
+    ctl.add_cpr(PipeRegister(q="rd_wb", d="rd_ex", stage=2))
+    ctl.validate()
+    return ctl
+
+
+def build_minipipe() -> Processor:
+    """The complete MiniPipe processor model."""
+    processor = Processor(
+        name="minipipe",
+        datapath=build_minipipe_datapath(),
+        controller=build_minipipe_controller(),
+        n_stages=3,
+        stimulus_registers=frozenset(),
+        cpi_defaults={"op": 0, "rs1": 0, "rs2": 0, "rd": 0},
+        cpi_dpi_bindings={},
+    )
+    processor.validate()
+    return processor

@@ -1,0 +1,159 @@
+"""MiniPipe ISA-level specification simulator and the implementation shim.
+
+The specification executes instructions architecturally: four registers,
+sequential semantics, a taken BEQ skips the next instruction.  Its output is
+the ordered list of register writes ``(rd, value)`` — the ISA-visible trace.
+
+``MiniEnv`` runs the same program on the pipelined *implementation* (the
+:class:`Processor` co-simulator): it plays the role of the environment,
+supplying register-file read data (MiniPipe models RF reads as data primary
+inputs) and committing write-backs, and extracts the same ISA-visible trace.
+Comparing the two traces is the detection criterion for design errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.datapath.simulate import Injector, ModuleOverride, no_injection
+from repro.mini.isa import IMM_OPS, N_REGS, WIDTH, Instruction, to_cpi
+from repro.model.processor import Processor
+from repro.utils.bits import to_unsigned
+from repro.verify.cosim import ProcessorSimulator
+
+
+@dataclass
+class SpecResult:
+    """ISA-visible outcome of a program run."""
+
+    writes: list[tuple[int, int]] = field(default_factory=list)
+    registers: list[int] = field(default_factory=list)
+
+
+class MiniSpec:
+    """Architectural (sequential) simulator for the MiniPipe ISA."""
+
+    def run(
+        self, program: Sequence[Instruction], init_regs: Sequence[int] | None = None
+    ) -> SpecResult:
+        regs = list(init_regs) if init_regs is not None else [0] * N_REGS
+        if len(regs) != N_REGS:
+            raise ValueError(f"expected {N_REGS} registers")
+        regs = [to_unsigned(r, WIDTH) for r in regs]
+        writes: list[tuple[int, int]] = []
+        skip = False
+        for instruction in program:
+            if skip:
+                skip = False
+                continue
+            op = instruction.opcode
+            a = regs[instruction.rs1]
+            b = regs[instruction.rs2]
+            imm = instruction.imm
+            if op == 0:  # NOP
+                continue
+            if op == 6:  # BEQ: skip next when equal
+                if a == b:
+                    skip = True
+                continue
+            operand = imm if op in IMM_OPS else b
+            if op in (1, 5):  # ADD / ADDI
+                value = to_unsigned(a + operand, WIDTH)
+            elif op in (2, 7):  # SUB / SUBI
+                value = to_unsigned(a - operand, WIDTH)
+            elif op == 3:  # AND
+                value = a & operand
+            else:  # XOR
+                value = a ^ operand
+            regs[instruction.rd] = value
+            writes.append((instruction.rd, value))
+        return SpecResult(writes=writes, registers=regs)
+
+
+class MiniEnv:
+    """Runs a program on the pipelined implementation and extracts the
+    ISA-visible write trace."""
+
+    def __init__(
+        self,
+        processor: Processor,
+        injector: Injector = no_injection,
+        module_overrides: Mapping[str, ModuleOverride] | None = None,
+    ) -> None:
+        self.processor = processor
+        self.sim = ProcessorSimulator(
+            processor, injector=injector, module_overrides=module_overrides
+        )
+
+    def run(
+        self,
+        program: Sequence[Instruction],
+        init_regs: Sequence[int] | None = None,
+        drain: int = 4,
+    ) -> SpecResult:
+        """Feed the program followed by ``drain`` NOP cycles.
+
+        Register-file reads are supplied from the architectural register
+        array, which is committed *before* each cycle's reads (write-through
+        register file); the single-cycle gap in between is covered by the
+        pipeline's bypass paths.
+        """
+        regs = list(init_regs) if init_regs is not None else [0] * N_REGS
+        regs = [to_unsigned(r, WIDTH) for r in regs]
+        writes: list[tuple[int, int]] = []
+        from repro.mini.isa import NOP
+
+        stream = list(program) + [NOP] * drain
+        for instruction in stream:
+            # Commit this cycle's write-back before the reads (the write
+            # value depends only on pipeline state, not on today's reads).
+            ctl_preview = self.processor.controller.network.evaluate(
+                dict(self.sim.ctl_state)
+            )
+            externals: dict[str, int | None] = {
+                name: None for name in self._external_names()
+            }
+            for name in self.processor.controller.ctrl_signals:
+                externals[name] = ctl_preview.get(name)
+            preview = self.sim.dp_sim.evaluate_partial(externals)
+            wb_en = ctl_preview.get("wb_en")
+            rd_wb = ctl_preview.get("rd_wb")
+            out = preview.get("out")
+            if wb_en == 1 and rd_wb is not None and out is not None:
+                regs[rd_wb] = out
+                writes.append((rd_wb, out))
+            cpi = to_cpi(instruction)
+            dpi = {
+                "rf_a": regs[instruction.rs1],
+                "rf_b": regs[instruction.rs2],
+                "imm": instruction.imm,
+            }
+            self.sim.step(cpi, dpi)
+        return SpecResult(writes=writes, registers=regs)
+
+    def _external_names(self):
+        return [
+            net.name
+            for net in self.processor.datapath.nets.values()
+            if net.is_external_input
+        ]
+
+
+def detects(
+    processor: Processor,
+    program: Sequence[Instruction],
+    error,
+    init_regs: Sequence[int] | None = None,
+) -> bool:
+    """True iff the program distinguishes the erroneous implementation from
+    the ISA specification (the Table-1 detection criterion)."""
+    spec = MiniSpec().run(program, init_regs)
+    bad_sim = error.attach(processor.datapath)
+    env = MiniEnv(
+        processor,
+        injector=bad_sim.injector,
+        module_overrides=bad_sim.module_overrides,
+    )
+    impl = env.run(program, init_regs)
+    return impl.writes != spec.writes

@@ -1,0 +1,17 @@
+"""Processor model and pipeframe organization (Sections III and IV)."""
+
+from repro.model.pathgraph import CoStates, DatapathPathAnalyzer
+from repro.model.processor import Processor, ProcessorModelError
+from repro.model.synthetic import (
+    build_synthetic_controller,
+    restricted_opcode_controller,
+)
+
+__all__ = [
+    "CoStates",
+    "DatapathPathAnalyzer",
+    "Processor",
+    "ProcessorModelError",
+    "build_synthetic_controller",
+    "restricted_opcode_controller",
+]

@@ -1,0 +1,402 @@
+"""Controllability/observability analysis over the unrolled datapath.
+
+DPTRACE (Section V.A) selects justification and propagation paths in the
+datapath.  Its search space is the datapath unrolled over a window of
+timeframes (the pipeframe window of Figure 2c): net and module instances are
+addressed as ``(frame, name)``; pipe registers connect frame t-1 to frame t.
+
+The analyzer computes, for a given partial assignment to the CTRL variables
+(per-frame values of the datapath's CTRL nets, as implied by CTRLJUST or
+decided by DPTRACE) and to the FO (fanout-select) variables, the C-state of
+every net instance and the O-state of every port instance, using the
+class-based propagation rules of Figure 5 (see ``repro.core.costates``).
+
+Sources:
+
+* DPI nets are controlled (C4) in every frame — they are test stimulus;
+* constants are determined but not controllable (C3);
+* pipe registers at frame 0 hold the reset state (C3), except *stimulus
+  registers* (e.g. the register-file model, whose initial contents are part
+  of the test) which are C4;
+* a register output at frame t > 0 tracks its D input at t-1, subject to
+  enable (stall) and clear (squash) control values.
+
+Observation roots are the DPO net instances of every frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.costates import (
+    CState,
+    OState,
+    add_c_forward,
+    add_o_backward,
+    and_c_forward,
+    and_o_backward,
+    branch_c_from_stem,
+    mux_c_forward,
+    mux_o_backward,
+    net_o_from_sinks,
+)
+from repro.datapath.module import Module, ModuleClass
+from repro.datapath.modules import ConstantModule, MuxModule, RegisterModule
+from repro.datapath.net import Net, NetRole
+from repro.datapath.netlist import Netlist
+
+#: Key of a net instance in the unrolled datapath.
+NetKey = tuple[int, str]
+#: Key of a port instance: (frame, "module.port").
+PortKey = tuple[int, str]
+#: Partial CTRL assignment: (frame, ctrl net name) -> value.
+CtrlAssignment = Mapping[tuple[int, str], int]
+#: Partial FO assignment: (frame, stem net name) -> selected sink index.
+FoAssignment = Mapping[tuple[int, str], int]
+
+
+@dataclass
+class CoStates:
+    """Result of a C/O propagation sweep."""
+
+    net_c: dict[NetKey, CState]
+    port_c: dict[PortKey, CState]
+    net_o: dict[NetKey, OState]
+    port_o: dict[PortKey, OState]
+
+
+class DatapathPathAnalyzer:
+    """C/O propagation over a datapath netlist unrolled over N frames."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_frames: int,
+        stimulus_registers: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        if n_frames < 1:
+            raise ValueError("need at least one frame")
+        self.netlist = netlist
+        self.n_frames = n_frames
+        self.stimulus_registers = frozenset(stimulus_registers)
+        self._order = netlist.topological_order()
+        self._registers = netlist.registers
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _mux_selected(
+        self, module: MuxModule, frame: int, ctrl: CtrlAssignment
+    ) -> int | None:
+        sel_net = module.control_inputs[0].net
+        value = ctrl.get((frame, sel_net.name))
+        if value is None:
+            return None
+        if isinstance(module, MuxModule) and value >= module.n_inputs:
+            return 0
+        return value
+
+    def _register_route(
+        self, reg: RegisterModule, frame: int, ctrl: CtrlAssignment
+    ) -> str | None:
+        """How the register output at ``frame+1`` is fed from ``frame``.
+
+        Returns ``"d"`` (loads D), ``"hold"`` (stalled), ``"clear"``
+        (squashed to a constant), or ``None`` (gating controls unknown).
+        """
+        idx = 0
+        enable = None
+        if reg.has_enable:
+            enable_net = reg.control_inputs[idx].net
+            enable = ctrl.get((frame, enable_net.name))
+            idx += 1
+        clear = None
+        if reg.has_clear:
+            clear_net = reg.control_inputs[idx].net
+            clear = ctrl.get((frame, clear_net.name))
+        if reg.has_clear:
+            if clear == 1:
+                return "clear"
+            if clear is None:
+                return None
+        if reg.has_enable:
+            if enable == 0:
+                return "hold"
+            if enable is None:
+                return None
+        return "d"
+
+    def _branch_index(self, net: Net, port) -> int:
+        return net.sinks.index(port)
+
+    # ------------------------------------------------------------------
+    # Forward controllability sweep
+    # ------------------------------------------------------------------
+    def compute(
+        self, ctrl: CtrlAssignment, fo: FoAssignment
+    ) -> CoStates:
+        """Run the forward C sweep and the backward O sweep."""
+        net_c = self._forward_c(ctrl, fo)
+        port_c = self._port_c(net_c, ctrl, fo)
+        net_o, port_o = self._backward_o(net_c, port_c, ctrl, fo)
+        return CoStates(net_c, port_c, net_o, port_o)
+
+    def _source_c(
+        self, net: Net, frame: int, net_c: dict[NetKey, CState],
+        ctrl: CtrlAssignment,
+    ) -> CState:
+        """C-state of a source net instance (no combinational driver)."""
+        if net.role in (NetRole.DPI, NetRole.DTI):
+            return CState.C4
+        if net.role is NetRole.CTRL:
+            # CTRL nets carry controller-decided values, not datapath data;
+            # they are determined once assigned, open otherwise.
+            value = ctrl.get((frame, net.name))
+            return CState.C3 if value is not None else CState.C2
+        driver = net.driver
+        if driver is None:
+            return CState.C3
+        module = driver.module
+        if isinstance(module, ConstantModule):
+            return CState.C3
+        if isinstance(module, RegisterModule):
+            return self._register_c(module, frame, net_c, ctrl)
+        raise AssertionError(f"unexpected source {module!r}")
+
+    def _register_c(
+        self,
+        reg: RegisterModule,
+        frame: int,
+        net_c: dict[NetKey, CState],
+        ctrl: CtrlAssignment,
+    ) -> CState:
+        if frame == 0:
+            if reg.name in self.stimulus_registers:
+                return CState.C4
+            return CState.C3
+        route = self._register_route(reg, frame - 1, ctrl)
+        if route == "clear":
+            return CState.C3
+        d_net = reg.data_inputs[0].net
+        q_net = reg.output.net
+        if route == "d":
+            return net_c[(frame - 1, d_net.name)]
+        if route == "hold":
+            return net_c[(frame - 1, q_net.name)]
+        # Gating unknown: could be any of the above — unknown, unless every
+        # possibility is already closed-and-uncontrollable.
+        possibilities = [net_c[(frame - 1, d_net.name)]]
+        if reg.has_enable:
+            possibilities.append(net_c[(frame - 1, q_net.name)])
+        if reg.has_clear:
+            possibilities.append(CState.C3)
+        if all(s in (CState.C2, CState.C3) for s in possibilities):
+            return CState.C2
+        return CState.C1
+
+    def _forward_c(
+        self, ctrl: CtrlAssignment, fo: FoAssignment
+    ) -> dict[NetKey, CState]:
+        net_c: dict[NetKey, CState] = {}
+        for frame in range(self.n_frames):
+            # Sources first (externals, constants, registers).
+            for net in self.netlist.nets.values():
+                driver = net.driver
+                is_source = driver is None or driver.module.module_class in (
+                    ModuleClass.SOURCE,
+                    ModuleClass.STATE,
+                )
+                if is_source:
+                    net_c[(frame, net.name)] = self._source_c(
+                        net, frame, net_c, ctrl
+                    )
+            # Combinational modules in topological order.
+            for module in self._order:
+                out_net = module.output.net
+                input_states = [
+                    self._input_branch_c(net_c, ctrl, fo, frame, port)
+                    for port in module.data_inputs
+                ]
+                if module.module_class is ModuleClass.ADD:
+                    state = add_c_forward(input_states)
+                elif module.module_class is ModuleClass.AND:
+                    state = and_c_forward(input_states)
+                elif module.module_class is ModuleClass.MUX:
+                    selected = self._mux_selected(module, frame, ctrl)
+                    state = mux_c_forward(input_states, selected)
+                else:  # pragma: no cover - defensive
+                    raise AssertionError(module.module_class)
+                net_c[(frame, out_net.name)] = state
+        return net_c
+
+    def _input_branch_c(
+        self,
+        net_c: dict[NetKey, CState],
+        ctrl: CtrlAssignment,
+        fo: FoAssignment,
+        frame: int,
+        port,
+    ) -> CState:
+        net = port.net
+        stem = net_c[(frame, net.name)]
+        if not net.has_fanout:
+            return stem
+        choice = fo.get((frame, net.name))
+        return branch_c_from_stem(stem, choice, self._branch_index(net, port))
+
+    def _port_c(
+        self,
+        net_c: dict[NetKey, CState],
+        ctrl: CtrlAssignment,
+        fo: FoAssignment,
+    ) -> dict[PortKey, CState]:
+        port_c: dict[PortKey, CState] = {}
+        for frame in range(self.n_frames):
+            for module in self.netlist.modules.values():
+                for port in module.data_inputs:
+                    if port.net is None:
+                        continue
+                    port_c[(frame, port.full_name)] = self._input_branch_c(
+                        net_c, ctrl, fo, frame, port
+                    )
+                for port in module.outputs:
+                    if port.net is None:
+                        continue
+                    port_c[(frame, port.full_name)] = net_c[
+                        (frame, port.net.name)
+                    ]
+        return port_c
+
+    # ------------------------------------------------------------------
+    # Backward observability sweep
+    # ------------------------------------------------------------------
+    def _backward_o(
+        self,
+        net_c: dict[NetKey, CState],
+        port_c: dict[PortKey, CState],
+        ctrl: CtrlAssignment,
+        fo: FoAssignment,
+    ) -> tuple[dict[NetKey, OState], dict[PortKey, OState]]:
+        net_o: dict[NetKey, OState] = {}
+        port_o: dict[PortKey, OState] = {}
+        # Register D-input observability contributed by frame t+1 outputs.
+        reg_feedthrough: dict[NetKey, OState] = {}
+        hold_feedthrough: dict[NetKey, OState] = {}
+
+        for frame in range(self.n_frames - 1, -1, -1):
+            # Pass 1: net O from sink ports, walking modules in reverse
+            # topological order so sink-port O-states exist when needed.
+            for module in reversed(self._order):
+                out_net = module.output.net
+                self._net_o(
+                    net_o, port_o, reg_feedthrough, hold_feedthrough,
+                    frame, out_net, ctrl,
+                )
+                out_state = net_o[(frame, out_net.name)]
+                self._module_input_o(
+                    port_o, port_c, out_state, module, frame, ctrl
+                )
+            # Source nets (externals, constants, register outputs).
+            for net in self.netlist.nets.values():
+                if (frame, net.name) in net_o:
+                    continue
+                self._net_o(
+                    net_o, port_o, reg_feedthrough, hold_feedthrough,
+                    frame, net, ctrl,
+                )
+            # Pass 2: register crossings into frame - 1.
+            if frame > 0:
+                for reg in self._registers:
+                    q_state = net_o[(frame, reg.output.net.name)]
+                    route = self._register_route(reg, frame - 1, ctrl)
+                    d_key = (frame - 1, reg.data_inputs[0].net.name)
+                    q_key = (frame - 1, reg.output.net.name)
+                    if route == "d":
+                        reg_feedthrough[d_key] = _o_join(
+                            reg_feedthrough.get(d_key), q_state
+                        )
+                    elif route == "hold":
+                        hold_feedthrough[q_key] = _o_join(
+                            hold_feedthrough.get(q_key), q_state
+                        )
+                    elif route is None:
+                        # Unknown gating: neither provably observable nor
+                        # provably blocked.
+                        downgraded = (
+                            OState.O1 if q_state is not OState.O2 else OState.O2
+                        )
+                        reg_feedthrough[d_key] = _o_join(
+                            reg_feedthrough.get(d_key), downgraded
+                        )
+                        hold_feedthrough[q_key] = _o_join(
+                            hold_feedthrough.get(q_key), downgraded
+                        )
+        return net_o, port_o
+
+    def _net_o(
+        self,
+        net_o: dict[NetKey, OState],
+        port_o: dict[PortKey, OState],
+        reg_feedthrough: dict[NetKey, OState],
+        hold_feedthrough: dict[NetKey, OState],
+        frame: int,
+        net: Net,
+        ctrl: CtrlAssignment,
+    ) -> None:
+        key = (frame, net.name)
+        if key in net_o:
+            return
+        if net.role is NetRole.DPO:
+            net_o[key] = OState.O3
+            return
+        sink_states: list[OState] = []
+        for port in net.sinks:
+            module = port.module
+            if isinstance(module, RegisterModule) and port is module.data_inputs[0]:
+                sink_states.append(reg_feedthrough.get(key, OState.O2))
+            elif port.kind.value == "control":
+                sink_states.append(OState.O2)
+            else:
+                sink_states.append(port_o.get((frame, port.full_name), OState.O2))
+        if hold_feedthrough.get(key) is not None:
+            sink_states.append(hold_feedthrough[key])
+        net_o[key] = net_o_from_sinks(sink_states)
+
+    def _module_input_o(
+        self,
+        port_o: dict[PortKey, OState],
+        port_c: dict[PortKey, CState],
+        out_state: OState,
+        module: Module,
+        frame: int,
+        ctrl: CtrlAssignment,
+    ) -> None:
+        n_inputs = len(module.data_inputs)
+        for i, port in enumerate(module.data_inputs):
+            side_states = [
+                port_c[(frame, p.full_name)]
+                for j, p in enumerate(module.data_inputs)
+                if j != i
+            ]
+            if module.module_class is ModuleClass.ADD:
+                state = add_o_backward(out_state, side_states)
+            elif module.module_class is ModuleClass.AND:
+                state = and_o_backward(out_state, side_states)
+            elif module.module_class is ModuleClass.MUX:
+                selected = self._mux_selected(module, frame, ctrl)
+                state = mux_o_backward(out_state, selected, i)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(module.module_class)
+            port_o[(frame, port.full_name)] = state
+
+
+def _o_join(a: OState | None, b: OState) -> OState:
+    """Join two O contributions: observable wins, unknown beats blocked."""
+    if a is None:
+        return b
+    if OState.O3 in (a, b):
+        return OState.O3
+    if OState.O1 in (a, b):
+        return OState.O1
+    return OState.O2

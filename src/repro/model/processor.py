@@ -1,0 +1,101 @@
+"""The pipelined processor model of Figure 1: datapath + controller glue.
+
+A :class:`Processor` binds a word-level datapath netlist to a pipelined
+controller.  Binding is by name: every controller CTRL signal must name a
+CTRL net of the datapath (the controller drives it), and every controller
+STS signal must name an STS net of the datapath (the datapath drives it).
+Optional ``cpi_dpi_bindings`` tie a controller CPI field to a datapath DPI
+net that mirrors it (e.g. an instruction immediate feeding both the decode
+logic and the sign extender).
+
+The class also carries the test-stimulus conventions used throughout the
+library: which datapath registers hold free initial state (e.g. the
+register-file model), and the CPI default values representing a NOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.pipeline import PipelinedController
+from repro.datapath.net import NetRole
+from repro.datapath.netlist import Netlist
+from repro.model.pathgraph import DatapathPathAnalyzer
+
+
+class ProcessorModelError(Exception):
+    """Raised when datapath and controller do not fit together."""
+
+
+@dataclass
+class Processor:
+    """A complete pipelined processor in the Figure 1 model."""
+
+    name: str
+    datapath: Netlist
+    controller: PipelinedController
+    n_stages: int
+    stimulus_registers: frozenset[str] = frozenset()
+    cpi_defaults: dict[str, int] = field(default_factory=dict)
+    cpi_dpi_bindings: dict[str, str] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check structural consistency between the two halves."""
+        self.datapath.validate()
+        self.controller.validate()
+        dp_ctrl = {n.name: n for n in self.datapath.ctrl_nets}
+        dp_sts = {n.name: n for n in self.datapath.sts_nets}
+        for name in self.controller.ctrl_signals:
+            if name not in dp_ctrl:
+                raise ProcessorModelError(
+                    f"controller CTRL signal {name!r} has no matching "
+                    "datapath CTRL net"
+                )
+            signal = self.controller.network.signal(name)
+            max_value = max(signal.domain)
+            if max_value >= (1 << dp_ctrl[name].width):
+                raise ProcessorModelError(
+                    f"CTRL {name!r}: domain value {max_value} does not fit "
+                    f"in the {dp_ctrl[name].width}-bit datapath net"
+                )
+        for name in self.controller.sts_signals:
+            if name not in dp_sts:
+                raise ProcessorModelError(
+                    f"controller STS signal {name!r} has no matching "
+                    "datapath STS net"
+                )
+        for cpi, dpi in self.cpi_dpi_bindings.items():
+            if cpi not in self.controller.cpi_signals:
+                raise ProcessorModelError(f"{cpi!r} is not a CPI signal")
+            net = self.datapath.nets.get(dpi)
+            if net is None or net.role is not NetRole.DPI:
+                raise ProcessorModelError(f"{dpi!r} is not a DPI net")
+        for reg in self.stimulus_registers:
+            if reg not in {r.name for r in self.datapath.registers}:
+                raise ProcessorModelError(
+                    f"stimulus register {reg!r} not in the datapath"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def analyzer(self, n_frames: int) -> DatapathPathAnalyzer:
+        return DatapathPathAnalyzer(
+            self.datapath, n_frames, self.stimulus_registers
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (Section VI reporting)
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, int]:
+        """The design statistics the paper reports for its DLX."""
+        ctl_stats = self.controller.search_space_stats()
+        return {
+            "pipeline_stages": self.n_stages,
+            "datapath_modules": len(self.datapath.combinational_modules),
+            "datapath_nets": len(self.datapath.nets),
+            "datapath_state_bits": self.datapath.state_bits(),
+            "controller_state_bits": self.controller.state_bits(),
+            "controller_tertiary_bits": self.controller.tertiary_bits(),
+            **ctl_stats,
+        }

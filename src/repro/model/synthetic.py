@@ -1,0 +1,135 @@
+"""Synthetic pipelined controllers for the Section IV experiments.
+
+The pipeframe-vs-timeframe comparison needs a family of controllers with
+tunable shape: ``p`` pipe stages, ``n2`` state bits per stage, ``n3``
+tertiary bits per stage, and a decode-dominated structure (the paper:
+"the primary function of the controller is to decode the incoming
+instructions", hence ``n2 >> n3`` and heavily *correlated* state bits —
+most CSI combinations are unreachable).
+
+Structure of ``build_synthetic_controller(p, op_values, n2, n3)``:
+
+* one CPI field ``op`` with ``op_values`` values;
+* stage-1 state = ``n2`` decode bits of ``op`` (bit i of the opcode, so
+  states whose bits disagree with every opcode are unreachable);
+* stages 2..p pipeline the stage-1 bits unchanged;
+* ``n3`` tertiary bits per stage (an AND of two state bits of the *next*
+  stage, squash-style), each gating that stage's CPR clear;
+* one CTRL output per stage per state bit.
+"""
+
+from __future__ import annotations
+
+from repro.controller import (
+    AndNode,
+    BufNode,
+    InSetNode,
+    OrNode,
+    PipelinedController,
+    PipeRegister,
+    SignalKind,
+    bit_signal,
+    field_signal,
+)
+
+
+def build_synthetic_controller(
+    p: int = 3,
+    op_values: int = 8,
+    n2: int = 4,
+    n3: int = 1,
+) -> PipelinedController:
+    """Build a p-stage decode-pipeline controller (see module docstring)."""
+    if n3 > n2:
+        raise ValueError("tertiary bits are a subset of the state bits")
+    if n3 < 1 or n2 < 2 or p < 2:
+        raise ValueError("need p >= 2, n2 >= 2, n3 >= 1")
+    ctl = PipelinedController(f"syn_p{p}_n{n2}_t{n3}", n_stages=p + 1)
+    add = ctl.add_signal
+
+    add(field_signal("op", tuple(range(op_values)), SignalKind.CPI, stage=0))
+    # Decode: bit i of the opcode value (correlated state).
+    for i in range(n2):
+        add(bit_signal(f"dec_{i}", stage=0))
+        members = {v for v in range(op_values) if (v >> i) & 1}
+        ctl.drive(f"dec_{i}", InSetNode("op", members))
+
+    # State bits per stage.
+    for s in range(1, p + 1):
+        for i in range(n2):
+            add(bit_signal(f"s{s}_b{i}", SignalKind.CSI, stage=s))
+
+    # Tertiary bits: stage s's squash comes from stage s+1 state.
+    for s in range(1, p):
+        for j in range(n3):
+            add(bit_signal(f"t{s}_{j}", SignalKind.CTI, stage=s))
+            ctl.drive(
+                f"t{s}_{j}",
+                AndNode([f"s{s + 1}_b{j}", f"s{s + 1}_b{(j + 1) % n2}"]),
+            )
+        add(bit_signal(f"clear_{s}", stage=s))
+        ctl.drive(f"clear_{s}", OrNode([f"t{s}_{j}" for j in range(n3)]))
+
+    # Control outputs.
+    for s in range(1, p + 1):
+        for i in range(n2):
+            add(bit_signal(f"c{s}_{i}", SignalKind.CTRL, stage=s))
+            ctl.drive(f"c{s}_{i}", BufNode(f"s{s}_b{i}"))
+        # A conjunction output that is unreachable when no opcode has both
+        # low bits set — used to measure wasted search on invalid states.
+        add(bit_signal(f"c{s}_and", SignalKind.CTRL, stage=s))
+        ctl.drive(f"c{s}_and", AndNode([f"s{s}_b0", f"s{s}_b1"]))
+
+    # Pipe registers.
+    for s in range(1, p + 1):
+        for i in range(n2):
+            d = f"dec_{i}" if s == 1 else f"s{s - 1}_b{i}"
+            clear = f"clear_{s}" if s < p else None
+            ctl.add_cpr(PipeRegister(
+                f"s{s}_b{i}", d, stage=s, reset=0, clear=clear,
+            ))
+    ctl.validate()
+    return ctl
+
+
+def restricted_opcode_controller(p: int = 3, n2: int = 4, n3: int = 1):
+    """A variant whose opcode set never has bits 0 and 1 both set.
+
+    Every state with ``b0 & b1`` is architecturally unreachable; the
+    ``c{s}_and = 1`` objective is therefore infeasible, and the two search
+    organizations differ sharply in how much work they waste proving it.
+    """
+    # op values 0..5 written in binary never have both low bits set when we
+    # remap 3 -> 4 and keep {0,1,2,4,5}: use an explicit set.
+    ctl = PipelinedController(f"syn_restricted_p{p}", n_stages=p + 1)
+    add = ctl.add_signal
+    allowed = (0, 1, 2, 4, 5, 6)  # none of these has (v & 3) == 3
+    add(field_signal("op", allowed, SignalKind.CPI, stage=0))
+    for i in range(n2):
+        add(bit_signal(f"dec_{i}", stage=0))
+        members = {v for v in allowed if (v >> i) & 1}
+        ctl.drive(f"dec_{i}", InSetNode("op", members))
+    for s in range(1, p + 1):
+        for i in range(n2):
+            add(bit_signal(f"s{s}_b{i}", SignalKind.CSI, stage=s))
+    for s in range(1, p):
+        for j in range(n3):
+            add(bit_signal(f"t{s}_{j}", SignalKind.CTI, stage=s))
+            ctl.drive(
+                f"t{s}_{j}",
+                AndNode([f"s{s + 1}_b{j}", f"s{s + 1}_b{(j + 1) % n2}"]),
+            )
+        add(bit_signal(f"clear_{s}", stage=s))
+        ctl.drive(f"clear_{s}", OrNode([f"t{s}_{j}" for j in range(n3)]))
+    for s in range(1, p + 1):
+        add(bit_signal(f"c{s}_and", SignalKind.CTRL, stage=s))
+        ctl.drive(f"c{s}_and", AndNode([f"s{s}_b0", f"s{s}_b1"]))
+    for s in range(1, p + 1):
+        for i in range(n2):
+            d = f"dec_{i}" if s == 1 else f"s{s - 1}_b{i}"
+            clear = f"clear_{s}" if s < p else None
+            ctl.add_cpr(PipeRegister(
+                f"s{s}_b{i}", d, stage=s, reset=0, clear=clear,
+            ))
+    ctl.validate()
+    return ctl

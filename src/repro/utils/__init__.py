@@ -1,0 +1,27 @@
+"""Low-level utilities shared by the datapath and controller substrates."""
+
+from repro.utils.bits import (
+    mask,
+    to_signed,
+    to_unsigned,
+    sign_extend,
+    bit,
+    bits_of,
+    from_bits,
+    add_overflows,
+    sub_overflows,
+    popcount,
+)
+
+__all__ = [
+    "mask",
+    "to_signed",
+    "to_unsigned",
+    "sign_extend",
+    "bit",
+    "bits_of",
+    "from_bits",
+    "add_overflows",
+    "sub_overflows",
+    "popcount",
+]

@@ -1,0 +1,81 @@
+"""Bit- and word-level arithmetic helpers.
+
+All datapath values in this library are plain Python integers interpreted as
+unsigned words of a given bit-width.  These helpers centralize the masking and
+two's-complement conversions so the module library stays readable.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Reduce ``value`` (any int) to its unsigned ``width``-bit representation."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value = to_unsigned(value, width)
+    sign_bit = 1 << (width - 1)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits (unsigned repr)."""
+    if to_width < from_width:
+        raise ValueError(f"cannot sign-extend {from_width} bits to {to_width}")
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (LSB = 0) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def bits_of(value: int, width: int) -> list[int]:
+    """Return the ``width`` bits of ``value``, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: list[int]) -> int:
+    """Assemble an integer from bits given LSB first."""
+    out = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit {i} is {b!r}, expected 0 or 1")
+        out |= b << i
+    return out
+
+
+def add_overflows(a: int, b: int, width: int) -> bool:
+    """True when signed ``width``-bit addition of a and b overflows."""
+    sa = to_signed(a, width)
+    sb = to_signed(b, width)
+    total = sa + sb
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return total < lo or total > hi
+
+
+def sub_overflows(a: int, b: int, width: int) -> bool:
+    """True when signed ``width``-bit subtraction a - b overflows."""
+    sa = to_signed(a, width)
+    sb = to_signed(b, width)
+    total = sa - sb
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return total < lo or total > hi
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount expects a non-negative integer")
+    return bin(value).count("1")

@@ -1,0 +1,17 @@
+"""Co-simulation and detection checking."""
+
+from repro.verify.cosim import (
+    CosimError,
+    CycleTrace,
+    ProcessorSimulator,
+    Trace,
+    traces_diverge,
+)
+
+__all__ = [
+    "CosimError",
+    "CycleTrace",
+    "ProcessorSimulator",
+    "Trace",
+    "traces_diverge",
+]

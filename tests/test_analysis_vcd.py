@@ -1,0 +1,75 @@
+"""Tests for the VCD trace export."""
+
+import pytest
+
+from repro.analysis.vcd import _binary, _identifier, read_vcd_header, write_vcd
+from repro.mini import Instruction, build_minipipe, to_cpi
+from repro.verify import ProcessorSimulator
+
+
+@pytest.fixture(scope="module")
+def processor():
+    return build_minipipe()
+
+
+@pytest.fixture(scope="module")
+def trace(processor):
+    sim = ProcessorSimulator(processor)
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=5),
+        Instruction("SUB", rs1=1, rs2=0, rd=2),
+        Instruction("NOP"),
+        Instruction("NOP"),
+    ]
+    cpi = [to_cpi(i) for i in program]
+    dpi = [{"rf_a": 0, "rf_b": 0, "imm": i.imm} for i in program]
+    return sim.run(cpi, dpi)
+
+
+def test_identifier_uniqueness():
+    ids = {_identifier(i) for i in range(500)}
+    assert len(ids) == 500
+
+
+def test_binary_encoding():
+    assert _binary(5, 4) == "0101"
+    assert _binary(None, 3) == "xxx"
+    assert _binary(0x1FF, 4) == "1111"  # masked to width
+
+
+def test_write_and_parse_header(processor, trace, tmp_path):
+    path = tmp_path / "trace.vcd"
+    n_vars = write_vcd(trace, processor, str(path))
+    scopes = read_vcd_header(str(path))
+    assert set(scopes) == {"controller", "datapath"}
+    assert len(scopes["controller"]) + len(scopes["datapath"]) == n_vars
+    assert "wb_en" in scopes["controller"]
+    assert "out" in scopes["datapath"]
+    text = path.read_text()
+    assert text.startswith("$date")
+    assert "$dumpvars" in text
+    assert "$enddefinitions $end" in text
+
+
+def test_value_changes_recorded(processor, trace, tmp_path):
+    path = tmp_path / "trace.vcd"
+    write_vcd(trace, processor, str(path),
+              controller_signals=["wb_en"], datapath_nets=["out"])
+    text = path.read_text()
+    # wb_en goes 0 -> 1 when the ADDI reaches write-back.
+    lines = text.splitlines()
+    one_changes = [l for l in lines if l.startswith("1") and len(l) <= 3]
+    assert one_changes, "expected a wb_en rising change"
+    # Timestamps are present and increasing.
+    stamps = [int(l[1:]) for l in lines if l.startswith("#")]
+    assert stamps == sorted(stamps)
+
+
+def test_narrowed_dump(processor, trace, tmp_path):
+    path = tmp_path / "narrow.vcd"
+    n_vars = write_vcd(trace, processor, str(path),
+                       controller_signals=["squash"],
+                       datapath_nets=["out", "alu_mux.y"])
+    assert n_vars == 3
+    scopes = read_vcd_header(str(path))
+    assert scopes["datapath"] == ["out", "alu_mux_y"]

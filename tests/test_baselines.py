@@ -1,0 +1,100 @@
+"""Tests for the timeframe baseline and the random test generator."""
+
+import pytest
+
+from repro.baselines import (
+    RandomDlxGenerator,
+    RandomMiniGenerator,
+    RandomProgramConfig,
+    TimeframeJust,
+    random_campaign,
+    search_space_sizes,
+)
+from repro.core.ctrljust import CtrlJust, JustStatus
+from repro.errors import BusSSLError
+from tests.test_controller_network import build_two_stage
+
+
+@pytest.fixture(scope="module")
+def unrolled():
+    return build_two_stage().unroll(4)
+
+
+def test_timeframe_decides_on_state_bits(unrolled):
+    engine = TimeframeJust(unrolled)
+    # CSI instances are decision variables in the timeframe organization.
+    assert "2:is_load_ex" in engine._decidable
+    # ... and are NOT in the pipeframe organization.
+    pipeframe = CtrlJust(unrolled)
+    assert "2:is_load_ex" not in pipeframe._decidable
+    assert "2:stall" in pipeframe._decidable
+
+
+def test_timeframe_solves_same_problem(unrolled):
+    objective = [("2:write_en", 1)]
+    pipeframe = CtrlJust(unrolled).justify(objective)
+    timeframe = TimeframeJust(unrolled).justify(objective)
+    assert pipeframe.status is JustStatus.SUCCESS
+    assert timeframe.status is JustStatus.SUCCESS
+    # Both solutions imply the objective.
+    assert pipeframe.implied["2:write_en"] == 1
+    assert timeframe.implied["2:write_en"] == 1
+
+
+def test_timeframe_rejects_unreachable_state(unrolled):
+    # Frame-0 state is the reset state: justifying write_en@0 = 1 needs
+    # is_load_ex@0 = 1, which conflicts with reset in both organizations.
+    assert TimeframeJust(unrolled).justify(
+        [("0:write_en", 1)]
+    ).status is JustStatus.FAILURE
+
+
+def test_search_space_sizes(unrolled):
+    sizes = search_space_sizes(unrolled)
+    # op (2 bits) x 4 frames = 8 shared bits; 1 CTI bit and 1 CSI bit per
+    # frame on each side.
+    assert sizes["pipeframe_bits"] == sizes["timeframe_bits"]  # n2 == n3 here
+    assert sizes["pipeframe_justify_bits"] == 4
+    assert sizes["timeframe_justify_bits"] == 4
+
+
+def test_search_space_sizes_dlx():
+    from repro.dlx import build_dlx
+
+    unrolled = build_dlx().controller.unroll(3)
+    sizes = search_space_sizes(unrolled)
+    assert sizes["pipeframe_bits"] < sizes["timeframe_bits"]
+    assert sizes["pipeframe_justify_bits"] < sizes["timeframe_justify_bits"]
+
+
+def test_random_generators_are_deterministic():
+    gen = RandomDlxGenerator(RandomProgramConfig(length=8, seed=5))
+    assert [str(i) for i in gen.program(0)] == [str(i) for i in gen.program(0)]
+    assert [str(i) for i in gen.program(0)] != [str(i) for i in gen.program(1)]
+    regs = gen.initial_registers(0)
+    assert regs == gen.initial_registers(0)
+    assert len(regs) == 32 and regs[0] == 0
+
+
+def test_random_mini_generator():
+    gen = RandomMiniGenerator(RandomProgramConfig(length=5, seed=2))
+    program = gen.program(0)
+    assert len(program) == 5
+    regs = gen.initial_registers(0)
+    assert len(regs) == 4
+
+
+def test_random_campaign_on_minipipe():
+    from repro.mini import build_minipipe, detects
+
+    processor = build_minipipe()
+    errors = [BusSSLError("alu_mux.y", bit, 0) for bit in range(4)]
+    gen = RandomMiniGenerator(RandomProgramConfig(length=12, seed=9))
+
+    def detect_fn(program, init_regs, error):
+        return detects(processor, program, error, init_regs)
+
+    result = random_campaign(errors, detect_fn, gen, n_programs=6)
+    assert result.programs_run <= 6
+    # Random programs find at least some stuck ALU bits quickly.
+    assert result.coverage(len(errors)) > 0

@@ -1,0 +1,89 @@
+"""Round-trip tests for test-suite serialization."""
+
+import pytest
+
+from repro.campaign.runner import CampaignReport, ErrorOutcome
+from repro.campaign.serialize import (
+    load_json,
+    realized_dlx_from_dict,
+    realized_dlx_to_dict,
+    report_from_dict,
+    report_to_dict,
+    save_json,
+)
+from repro.campaign.serialize import testcase_from_dict as tc_from_dict
+from repro.campaign.serialize import testcase_to_dict as tc_to_dict
+from repro.core.tg import TestCase, TestGenerator, TGStatus
+from repro.errors import BusSSLError
+from repro.mini import build_minipipe
+
+
+def test_testcase_roundtrip():
+    test = TestCase(
+        n_frames=3,
+        cpi_frames=[{"op": 1}, {"op": 0}, {"op": 2}],
+        dpi_frames=[{"rf_a": 5}, {}, {"imm": 7}],
+        stimulus_state={"r": 9},
+        error="bus-ssl x[0] stuck-at-1",
+        activation_frame=1,
+        observation=(2, "out"),
+        decided_cpi=frozenset({(0, "op"), (2, "op")}),
+    )
+    data = tc_to_dict(test)
+    rebuilt = tc_from_dict(data)
+    assert rebuilt == test
+
+
+def test_testcase_kind_checked():
+    with pytest.raises(ValueError):
+        tc_from_dict({"kind": "other"})
+
+
+def test_generated_testcase_roundtrips(tmp_path):
+    processor = build_minipipe()
+    result = TestGenerator(processor).generate(BusSSLError("alu_mux.y", 1, 0))
+    assert result.status is TGStatus.DETECTED
+    path = tmp_path / "test.json"
+    save_json(tc_to_dict(result.test), str(path))
+    rebuilt = tc_from_dict(load_json(str(path)))
+    assert rebuilt == result.test
+
+
+def test_realized_dlx_roundtrip_behaviour(tmp_path):
+    """A saved DLX test replays with identical specification behaviour."""
+    from repro.dlx import DlxSpec, build_dlx, detects
+    from repro.dlx.realize import realize
+
+    dlx = build_dlx()
+    error = BusSSLError("alu_add.y", 0, 0)
+    result = TestGenerator(dlx, deadline_seconds=20).generate(error)
+    assert result.status is TGStatus.DETECTED
+    realized = realize(dlx, result.test)
+
+    path = tmp_path / "dlx_test.json"
+    save_json(realized_dlx_to_dict(realized), str(path))
+    rebuilt = realized_dlx_from_dict(load_json(str(path)))
+
+    original = DlxSpec().run(
+        realized.program, realized.init_regs, realized.init_memory
+    )
+    replayed = DlxSpec().run(
+        rebuilt.program, rebuilt.init_regs, rebuilt.init_memory
+    )
+    assert replayed.events == original.events
+    assert detects(dlx, rebuilt.program, error,
+                   rebuilt.init_regs, rebuilt.init_memory)
+
+
+def test_report_roundtrip():
+    report = CampaignReport(
+        outcomes=[
+            ErrorOutcome("e1", True, test_length=6, final_backtracks=2),
+            ErrorOutcome("e2", False, failure_stage="tg"),
+        ],
+        total_seconds=30.0,
+    )
+    rebuilt = report_from_dict(report_to_dict(report))
+    assert rebuilt.n_detected == 1
+    assert rebuilt.outcomes[0].final_backtracks == 2
+    assert rebuilt.table1() == report.table1()

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_stats_command(capsys):
+    assert main(["stats"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline_stages" in out
+    assert "pipeframe_justify_bits" in out
+
+
+def test_generate_command_detects(capsys):
+    assert main(["generate", "mem_sdata.y", "2", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "detected" in out
+    assert "ISA-level detection: yes" in out
+
+
+def test_generate_command_aborts_on_unobservable(capsys):
+    # The branch-condition status bit is unobservable in the model.
+    assert main(["generate", "zero", "0", "0", "--deadline", "5"]) == 1
+    out = capsys.readouterr().out
+    assert "aborted" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

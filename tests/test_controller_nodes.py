@@ -1,0 +1,227 @@
+"""Tests for three-valued controller nodes.
+
+Two contracts matter:
+* eval3 is *monotone and sound*: with every input known it equals the
+  concrete function; with unknowns it returns a value only when all
+  completions agree.
+* backtrace options are *consistent*: applying an option never makes the
+  target unreachable when eval3 would allow it (checked per node type).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.controller.nodes import (
+    AndNode,
+    BufNode,
+    ConstNode,
+    EqConstNode,
+    EqNode,
+    InSetNode,
+    MuxNode,
+    NotNode,
+    OrNode,
+    TableNode,
+    XorNode,
+)
+from repro.controller.pipeline import CprNode
+
+BIT = (0, 1)
+maybe_bit = st.sampled_from([0, 1, None])
+
+
+def test_const_node():
+    n = ConstNode(1)
+    assert n.eval3([]) == 1
+    assert n.backtrace_options(0, [], []) == []
+
+
+def test_buf_node():
+    n = BufNode("a")
+    assert n.eval3([0]) == 0
+    assert n.eval3([None]) is None
+    assert n.backtrace_options(1, [None], [BIT]) == [(0, 1)]
+
+
+def test_not_node():
+    n = NotNode("a")
+    assert n.eval3([0]) == 1
+    assert n.eval3([1]) == 0
+    assert n.eval3([None]) is None
+    assert n.backtrace_options(0, [None], [BIT]) == [(0, 1)]
+
+
+def test_and_node_three_valued():
+    n = AndNode(["a", "b"])
+    assert n.eval3([0, None]) == 0
+    assert n.eval3([1, 1]) == 1
+    assert n.eval3([1, None]) is None
+    options = n.backtrace_options(1, [1, None], [BIT, BIT])
+    assert options == [(1, 1)]
+
+
+def test_or_node_three_valued():
+    n = OrNode(["a", "b"])
+    assert n.eval3([1, None]) == 1
+    assert n.eval3([0, 0]) == 0
+    assert n.eval3([0, None]) is None
+    assert n.backtrace_options(0, [None, 0], [BIT, BIT]) == [(0, 0)]
+
+
+def test_xor_node():
+    n = XorNode(["a", "b"])
+    assert n.eval3([1, 1]) == 0
+    assert n.eval3([1, 0]) == 1
+    assert n.eval3([1, None]) is None
+    assert n.backtrace_options(1, [1, None], [BIT, BIT]) == [(1, 0)]
+
+
+def test_eq_const_node():
+    n = EqConstNode("op", 5)
+    assert n.eval3([5]) == 1
+    assert n.eval3([4]) == 0
+    assert n.eval3([None]) is None
+    assert n.backtrace_options(1, [None], [(3, 4, 5)]) == [(0, 5)]
+    assert (0, 3) in n.backtrace_options(0, [None], [(3, 4, 5)])
+
+
+def test_eq_const_unreachable_target():
+    n = EqConstNode("op", 9)
+    assert n.backtrace_options(1, [None], [(3, 4, 5)]) == []
+
+
+def test_in_set_node():
+    n = InSetNode("op", {1, 2})
+    assert n.eval3([1]) == 1
+    assert n.eval3([3]) == 0
+    assert n.eval3([None]) is None
+    ones = n.backtrace_options(1, [None], [(0, 1, 2, 3)])
+    assert set(ones) == {(0, 1), (0, 2)}
+    zeros = n.backtrace_options(0, [None], [(0, 1, 2, 3)])
+    assert set(zeros) == {(0, 0), (0, 3)}
+
+
+def test_eq_node():
+    n = EqNode("a", "b")
+    assert n.eval3([3, 3]) == 1
+    assert n.eval3([3, 4]) == 0
+    assert n.eval3([3, None]) is None
+    dom = [(1, 2, 3), (1, 2, 3)]
+    assert n.backtrace_options(1, [None, 2], dom) == [(0, 2)]
+    assert n.backtrace_options(1, [2, None], dom) == [(1, 2)]
+    assert (0, 1) in n.backtrace_options(0, [None, 2], dom)
+    assert n.backtrace_options(1, [None, None], dom) == [(0, 1)]
+
+
+def test_mux_node():
+    n = MuxNode("sel", "a", "b")
+    assert n.eval3([0, 10, 20]) == 10
+    assert n.eval3([1, 10, 20]) == 20
+    assert n.eval3([None, 10, 10]) == 10  # both branches agree
+    assert n.eval3([None, 10, 20]) is None
+    # sel known, selected input unknown
+    dom = [BIT, (10, 20), (10, 20)]
+    assert n.backtrace_options(20, [1, 10, None], dom) == [(2, 20)]
+    # sel unknown: prefer steering toward an input already at target
+    options = n.backtrace_options(20, [None, 10, 20], dom)
+    assert options[0] == (0, 1)
+
+
+def test_mux_node_rejects_single_data():
+    with pytest.raises(ValueError):
+        MuxNode("s", "a")
+
+
+def test_table_node_full_and_partial():
+    # A 2-bit decoder: out = a + 2*b
+    n = TableNode(["a", "b"], lambda a, b: a + 2 * b, [BIT, BIT])
+    assert n.eval3([1, 1]) == 3
+    assert n.eval3([None, 1]) is None
+    # When all completions agree the value is implied.
+    n2 = TableNode(["a", "b"], lambda a, b: b, [BIT, BIT])
+    assert n2.eval3([None, 1]) == 1
+
+
+def test_table_node_backtrace():
+    n = TableNode(["a", "b"], lambda a, b: a & b, [BIT, BIT])
+    options = n.backtrace_options(1, [None, 1], [BIT, BIT])
+    assert (0, 1) in options
+    assert (0, 0) not in options
+
+
+def test_table_node_enum_limit():
+    big_domain = tuple(range(100))
+    n = TableNode(
+        ["a", "b"], lambda a, b: 0, [big_domain, big_domain], max_enum=64
+    )
+    assert n.eval3([None, None]) is None  # too many completions: stays X
+
+
+@given(maybe_bit, maybe_bit, maybe_bit)
+def test_and_or_soundness(a, b, c):
+    """eval3 result must match every completion of the unknowns."""
+    for node_cls, fn in ((AndNode, min), (OrNode, max)):
+        node = node_cls(["a", "b", "c"])
+        result = node.eval3([a, b, c])
+        if result is not None:
+            for xa in ([a] if a is not None else [0, 1]):
+                for xb in ([b] if b is not None else [0, 1]):
+                    for xc in ([c] if c is not None else [0, 1]):
+                        assert fn((xa, xb, xc)) == result
+
+
+# ---------------------------------------------------------------------------
+# CprNode semantics
+# ---------------------------------------------------------------------------
+def test_cpr_plain_follows_d():
+    n = CprNode("d", None, None, None, 0)
+    assert n.eval3([5]) == 5
+    assert n.eval3([None]) is None
+
+
+def test_cpr_with_enable():
+    n = CprNode("d", "q", "en", None, 0)
+    assert n.eval3([5, 3, 1]) == 5  # enabled: follow d
+    assert n.eval3([5, 3, 0]) == 3  # stalled: hold q
+    assert n.eval3([5, 5, None]) == 5  # both branches agree
+    assert n.eval3([5, 3, None]) is None
+
+
+def test_cpr_with_clear():
+    n = CprNode("d", None, None, "clr", 7)
+    assert n.eval3([5, 1]) == 7  # cleared
+    assert n.eval3([5, 0]) == 5
+    assert n.eval3([7, None]) == 7  # either way it's 7
+    assert n.eval3([5, None]) is None
+
+
+def test_cpr_enable_and_clear():
+    n = CprNode("d", "q", "en", "clr", 0)
+    # order: d, q_prev, en, clr
+    assert n.eval3([5, 3, 1, 1]) == 0  # clear dominates
+    assert n.eval3([5, 3, 0, 0]) == 3
+    assert n.eval3([5, 3, 1, 0]) == 5
+
+
+def test_cpr_requires_qprev_with_enable():
+    with pytest.raises(ValueError):
+        CprNode("d", None, "en", None, 0)
+
+
+def test_cpr_backtrace_clear_path():
+    n = CprNode("d", "q", "en", "clr", 0)
+    dom = [(0, 1, 2, 3)] * 2 + [BIT, BIT]
+    options = n.backtrace_options(0, [None, None, None, None], dom)
+    assert options[0] == (3, 1)  # clearing is the cheapest way to get 0
+    options = n.backtrace_options(2, [None, None, None, None], dom)
+    assert (3, 0) in options  # must not clear to reach a non-clear value
+
+
+def test_cpr_backtrace_through_d():
+    n = CprNode("d", "q", "en", "clr", 0)
+    dom = [(0, 1, 2, 3)] * 2 + [BIT, BIT]
+    options = n.backtrace_options(2, [None, None, 1, 0], dom)
+    assert (0, 2) in options
+    options = n.backtrace_options(2, [None, None, 0, 0], dom)
+    assert (1, 2) in options  # stalled: value must come from q_prev

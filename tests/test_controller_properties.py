@@ -1,0 +1,150 @@
+"""Property tests tying the three-valued controller semantics to the
+concrete semantics (the soundness obligations of the implication engine)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.controller.nodes import (
+    AndNode,
+    EqConstNode,
+    EqNode,
+    InSetNode,
+    MuxNode,
+    NotNode,
+    OrNode,
+    TableNode,
+    XorNode,
+)
+from repro.controller.pipeline import CprNode
+
+maybe_bit = st.sampled_from([0, 1, None])
+small_field = st.sampled_from([0, 1, 2, 3, None])
+
+
+def completions(values, domains):
+    """All concrete completions of a partial assignment."""
+    import itertools
+
+    axes = [
+        (v,) if v is not None else tuple(domains[i])
+        for i, v in enumerate(values)
+    ]
+    return itertools.product(*axes)
+
+
+def check_soundness(node, values, domains, concrete_fn):
+    """If eval3 returns a concrete value, every completion agrees with it;
+    and on fully-concrete inputs eval3 equals the concrete function."""
+    result = node.eval3(values)
+    if all(v is not None for v in values):
+        assert result == concrete_fn(*values)
+        return
+    if result is not None:
+        for combo in completions(values, domains):
+            assert concrete_fn(*combo) == result
+
+
+@given(st.lists(maybe_bit, min_size=2, max_size=4))
+def test_and_or_xor_soundness(values):
+    domains = [(0, 1)] * len(values)
+    names = [f"i{k}" for k in range(len(values))]
+    check_soundness(AndNode(names), values, domains, lambda *v: min(v))
+    check_soundness(OrNode(names), values, domains, lambda *v: max(v))
+    check_soundness(XorNode(names), values, domains,
+                    lambda *v: sum(v) & 1)
+
+
+@given(maybe_bit)
+def test_not_soundness(value):
+    check_soundness(NotNode("a"), [value], [(0, 1)], lambda v: 1 - v)
+
+
+@given(small_field, st.integers(0, 3))
+def test_eqconst_soundness(value, constant):
+    node = EqConstNode("a", constant)
+    check_soundness(node, [value], [(0, 1, 2, 3)],
+                    lambda v: int(v == constant))
+
+
+@given(small_field, small_field)
+def test_eq_soundness(a, b):
+    node = EqNode("a", "b")
+    check_soundness(node, [a, b], [(0, 1, 2, 3)] * 2,
+                    lambda x, y: int(x == y))
+
+
+@given(small_field, st.sets(st.integers(0, 3), max_size=4))
+def test_inset_soundness(value, members):
+    node = InSetNode("a", members)
+    check_soundness(node, [value], [(0, 1, 2, 3)],
+                    lambda v: int(v in members))
+
+
+@given(maybe_bit, small_field, small_field)
+def test_mux_soundness(sel, a, b):
+    node = MuxNode("s", "a", "b")
+    domains = [(0, 1), (0, 1, 2, 3), (0, 1, 2, 3)]
+
+    def concrete(s, x, y):
+        return (x, y)[s if s < 2 else 0]
+
+    check_soundness(node, [sel, a, b], domains, concrete)
+
+
+@given(small_field, small_field)
+def test_table_soundness(a, b):
+    node = TableNode(["a", "b"], lambda x, y: (x + y) % 4,
+                     [(0, 1, 2, 3)] * 2)
+    check_soundness(node, [a, b], [(0, 1, 2, 3)] * 2,
+                    lambda x, y: (x + y) % 4)
+
+
+@given(small_field, small_field, maybe_bit, maybe_bit)
+def test_cpr_soundness(d, q_prev, enable, clear):
+    """CprNode's three-valued semantics agrees with the clock-edge rule."""
+    node = CprNode("d", "q", "en", "clr", clear_value=0)
+    domains = [(0, 1, 2, 3)] * 2 + [(0, 1)] * 2
+
+    def concrete(dv, qv, env, clrv):
+        if clrv == 1:
+            return 0
+        return dv if env == 1 else qv
+
+    check_soundness(node, [d, q_prev, enable, clear], domains, concrete)
+
+
+@given(small_field, small_field, maybe_bit, maybe_bit, st.integers(0, 3))
+def test_cpr_backtrace_options_are_feasible(d, q_prev, enable, clear, target):
+    """Every backtrace option keeps the target reachable: applying it and
+    completing the rest somehow can still produce the target (no option is
+    an immediate dead end)."""
+    node = CprNode("d", "q", "en", "clr", clear_value=0)
+    domains = [(0, 1, 2, 3)] * 2 + [(0, 1)] * 2
+    values = [d, q_prev, enable, clear]
+
+    def concrete(dv, qv, env, clrv):
+        if clrv == 1:
+            return 0
+        return dv if env == 1 else qv
+
+    reachable_before = any(
+        concrete(*combo) == target for combo in completions(values, domains)
+    )
+    options = node.backtrace_options(target, values, domains)
+    for index, want in options:
+        assert values[index] is None  # options only touch open inputs
+    if not reachable_before:
+        return  # infeasible targets are caught by implication, not here
+    # At least one option must keep the target reachable (PODEM tries the
+    # alternatives in turn, so not every option has to).
+    if options:
+        assert any(
+            any(
+                concrete(*combo) == target
+                for combo in completions(
+                    [want if i == index else v for i, v in enumerate(values)],
+                    domains,
+                )
+            )
+            for index, want in options
+        ), (values, target, options)

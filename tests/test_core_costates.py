@@ -1,0 +1,96 @@
+"""Tests for the C/O state algebra (Figure 5 propagation rules)."""
+
+from repro.core.costates import (
+    CState,
+    OState,
+    add_c_forward,
+    add_o_backward,
+    and_c_forward,
+    and_o_backward,
+    branch_c_from_stem,
+    mux_c_forward,
+    mux_o_backward,
+    net_o_from_sinks,
+)
+
+C1, C2, C3, C4 = CState.C1, CState.C2, CState.C3, CState.C4
+O1, O2, O3 = OState.O1, OState.O2, OState.O3
+
+
+def test_add_c_single_controlled_input_controls_output():
+    assert add_c_forward([C4, C3]) is C4
+    assert add_c_forward([C2, C4]) is C4
+    assert add_c_forward([C4, C4]) is C4
+
+
+def test_add_c_unknown_dominates_uncontrollable():
+    assert add_c_forward([C1, C3]) is C1
+    assert add_c_forward([C1, C2]) is C1
+
+
+def test_add_c_uncontrollable():
+    assert add_c_forward([C2, C3]) is C2
+    assert add_c_forward([C3, C3]) is C3
+
+
+def test_and_c_all_inputs_needed():
+    assert and_c_forward([C4, C4]) is C4
+    assert and_c_forward([C4, C3]) is C3
+    assert and_c_forward([C3, C1]) is C2  # legible Figure 5 entry
+    assert and_c_forward([C4, C1]) is C1
+    assert and_c_forward([C2, C4]) is C2
+    assert and_c_forward([C1, C1]) is C1
+
+
+def test_mux_c_with_select_assigned():
+    assert mux_c_forward([C4, C3], selected=0) is C4
+    assert mux_c_forward([C4, C3], selected=1) is C3
+
+
+def test_mux_c_with_select_open():
+    assert mux_c_forward([C4, C3], selected=None) is C1
+    assert mux_c_forward([C2, C3], selected=None) is C2
+    assert mux_c_forward([C2, C2], selected=None) is C2
+
+
+def test_add_o_requires_closed_sides():
+    assert add_o_backward(O3, [C3]) is O3
+    assert add_o_backward(O3, [C4]) is O3
+    assert add_o_backward(O3, [C1]) is O1
+    assert add_o_backward(O3, [C2]) is O1
+    assert add_o_backward(O2, [C4]) is O2
+    assert add_o_backward(O1, [C4]) is O1
+
+
+def test_and_o_requires_controlled_sides():
+    assert and_o_backward(O3, [C4]) is O3
+    assert and_o_backward(O3, [C3]) is O2  # uncontrollable side blocks
+    assert and_o_backward(O3, [C2]) is O2
+    assert and_o_backward(O3, [C1]) is O1
+    assert and_o_backward(O2, [C4]) is O2
+
+
+def test_mux_o_respects_select():
+    assert mux_o_backward(O3, selected=0, input_index=0) is O3
+    assert mux_o_backward(O3, selected=1, input_index=0) is O2
+    assert mux_o_backward(O3, selected=None, input_index=0) is O1
+    assert mux_o_backward(O2, selected=0, input_index=0) is O2
+
+
+def test_net_o_from_sinks():
+    assert net_o_from_sinks([O2, O3]) is O3
+    assert net_o_from_sinks([O2, O2]) is O2
+    assert net_o_from_sinks([O1, O2]) is O1
+    assert net_o_from_sinks([]) is O2  # dangling nets are unobservable
+
+
+def test_branch_c_from_stem_unassigned_fo():
+    assert branch_c_from_stem(C4, None, 0) is C1
+    assert branch_c_from_stem(C3, None, 0) is C3
+    assert branch_c_from_stem(C1, None, 0) is C1
+
+
+def test_branch_c_from_stem_assigned_fo():
+    assert branch_c_from_stem(C4, 1, 1) is C4  # selected branch wins
+    assert branch_c_from_stem(C4, 1, 0) is C2  # other branches blocked
+    assert branch_c_from_stem(C3, 1, 0) is C3  # determined stays determined

@@ -1,0 +1,106 @@
+"""Tests for CTRLJUST justification on unrolled controllers."""
+
+import pytest
+
+from repro.core.ctrljust import CtrlJust, JustStatus
+from tests.test_controller_network import build_two_stage
+
+
+@pytest.fixture()
+def unrolled():
+    return build_two_stage().unroll(4)
+
+
+def test_empty_objectives_succeed(unrolled):
+    result = CtrlJust(unrolled).justify([])
+    assert result.status is JustStatus.SUCCESS
+    assert result.assignment == {}
+
+
+def test_justify_ctrl_via_cpi_decision(unrolled):
+    # write_en@2 = is_load_ex@2 = CPR of is_load@1 = (op@1 in {2,3}).
+    result = CtrlJust(unrolled).justify([("2:write_en", 1)])
+    assert result.status is JustStatus.SUCCESS
+    assert result.assignment.get("1:op") in (2, 3)
+    assert result.implied["2:write_en"] == 1
+
+
+def test_justify_zero_objective(unrolled):
+    result = CtrlJust(unrolled).justify([("2:write_en", 0)])
+    assert result.status is JustStatus.SUCCESS
+    assert result.implied["2:write_en"] == 0
+
+
+def test_unsatisfiable_at_reset_frame(unrolled):
+    # Frame 0 CSI is the reset state (0), so write_en@0 == 0 always.
+    result = CtrlJust(unrolled).justify([("0:write_en", 1)])
+    assert result.status is JustStatus.FAILURE
+
+
+def test_conflicting_objectives_fail(unrolled):
+    result = CtrlJust(unrolled).justify(
+        [("2:write_en", 1), ("2:stall", 0)]
+    )
+    # write_en@2 == is_load_ex@2 == stall@2, so 1 and 0 conflict.
+    assert result.status is JustStatus.FAILURE
+
+
+def test_consistent_pair_succeeds(unrolled):
+    result = CtrlJust(unrolled).justify(
+        [("2:write_en", 1), ("2:stall", 1)]
+    )
+    assert result.status is JustStatus.SUCCESS
+
+
+def test_cti_decision_is_justified(unrolled):
+    # Objective directly on a tertiary signal instance.
+    result = CtrlJust(unrolled).justify([("3:stall", 1)])
+    assert result.status is JustStatus.SUCCESS
+    # stall@3 = is_load_ex@3 requires a load at op@2 that was not stalled.
+    assert result.implied["3:stall"] == 1
+
+
+def test_stall_interaction_across_frames(unrolled):
+    """A load at frame 1 stalls frame 2, so the frame-2 op is not latched:
+    is_load_ex@3 must hold the frame-1 load (enable low holds CPR)."""
+    result = CtrlJust(unrolled).justify(
+        [("2:stall", 1), ("3:stall", 1)]
+    )
+    assert result.status is JustStatus.SUCCESS
+    values = result.implied
+    assert values["2:is_load_ex"] == 1
+    assert values["3:is_load_ex"] == 1
+
+
+def test_invalid_objective_value_rejected(unrolled):
+    with pytest.raises(ValueError):
+        CtrlJust(unrolled).justify([("1:op", 9)])
+
+
+def test_sts_requirements_and_cpi_sequence(unrolled):
+    result = CtrlJust(unrolled).justify([("2:write_en", 1)])
+    assert result.status is JustStatus.SUCCESS
+    # No STS signals in this controller.
+    assert result.sts_requirements(unrolled) == []
+    frames = result.cpi_sequence(unrolled, defaults={"op": 0})
+    assert len(frames) == 4
+    assert frames[1]["op"] in (2, 3)
+    assert frames[0]["op"] in (0, 1, 2, 3)  # default or decided
+
+
+def test_backtrack_count_reported(unrolled):
+    result = CtrlJust(unrolled).justify([("0:write_en", 1)])
+    assert result.status is JustStatus.FAILURE
+    assert result.backtracks >= 0
+
+
+def test_pre_assignment_respected(unrolled):
+    # Pre-assign op@1 to a non-load.  write_en@2 = is_load_ex@2 can then
+    # only be justified the long way round: a load at frame 0 raises
+    # stall@1, which holds the CPR so is_load_ex@2 keeps the frame-0 load.
+    result = CtrlJust(unrolled).justify(
+        [("2:write_en", 1)], pre_assignment={"1:op": 0}
+    )
+    assert result.status is JustStatus.SUCCESS
+    assert result.assignment.get("0:op") in (2, 3)
+    assert result.implied["1:stall"] == 1

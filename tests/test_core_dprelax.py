@@ -1,0 +1,197 @@
+"""Tests for the DPRELAX discrete-relaxation value solver."""
+
+import pytest
+
+from repro.core.dprelax import (
+    ActivationConstraint,
+    DiscreteRelaxer,
+    ValueType,
+)
+from repro.datapath import DatapathBuilder, DatapathSimulator
+from tests.helpers import build_linear_chain, build_toy_pipeline
+
+
+def full_ctrl(pairs, n_frames):
+    """Expand {name: value} to {(frame, name): value} for all frames."""
+    out = {}
+    for frame in range(n_frames):
+        for name, value in pairs.items():
+            out[(frame, name)] = value
+    return out
+
+
+def test_forward_propagation_computes_outputs():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    relaxer.fix(0, "x", 10)
+    result = relaxer.relax()
+    assert result.converged
+    assert result.values[(0, "a1.y")] == 13
+    assert result.values[(1, "r1.y")] == 13
+    assert result.values[(1, "out")] == 13 ^ 0x55
+
+
+def test_backward_solving_through_adder_and_xor():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    relaxer.fix(1, "out", 0xAA)  # require the DPO value
+    result = relaxer.relax()
+    assert result.converged
+    # The solver must have derived x at frame 0.
+    x = result.values[(0, "x")]
+    sim = DatapathSimulator(netlist)
+    sim.step({"x": x})
+    values = sim.step({"x": 0})
+    assert values["out"] == 0xAA
+
+
+def test_conflicting_fixed_values_rejected():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    relaxer.fix(0, "x", 1)
+    with pytest.raises(ValueError):
+        relaxer.fix(0, "x", 2)
+
+
+def test_infeasible_fixed_pair_reported():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    relaxer.fix(0, "x", 0)
+    relaxer.fix(0, "a1.y", 99)  # inconsistent: 0 + 3 != 99
+    result = relaxer.relax()
+    assert not result.converged
+    assert result.inconsistent
+
+
+def test_activation_constraint_steers_value():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    # Stuck-at-0 on bit 3 of a1.y: need fault-free bit 3 = 1.
+    relaxer.require_activation(ActivationConstraint(0, "a1.y", 0b1000, 0b1000))
+    result = relaxer.relax()
+    assert result.converged
+    assert result.values[(0, "a1.y")] & 0b1000
+
+
+def test_activation_conflicts_with_fixed_value():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    relaxer.fix(0, "a1.y", 0)  # bit 3 is 0, FIXED
+    relaxer.require_activation(ActivationConstraint(0, "a1.y", 0b1000, 0b1000))
+    result = relaxer.relax()
+    assert not result.converged
+
+
+def test_toy_pipeline_sts_justification():
+    netlist = build_toy_pipeline()
+    ctrl = full_ctrl({"alusrc": 0, "op": 0, "wbsel": 0}, 2)
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl=ctrl)
+    relaxer.fix(0, "eq", 1)  # require a == b at frame 0
+    result = relaxer.relax()
+    assert result.converged
+    a = result.values.get((0, "a"), 0)
+    b = result.values.get((0, "b"), 0)
+    assert a == b
+
+
+def test_toy_pipeline_mux_routing():
+    netlist = build_toy_pipeline()
+    ctrl = full_ctrl({"alusrc": 1, "op": 0, "wbsel": 0}, 2)
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl=ctrl)
+    relaxer.fix(0, "a", 10)
+    result = relaxer.relax()
+    assert result.converged
+    # alusrc=1 routes the constant 4: sum = 14.
+    assert result.values[(0, "alu_add.y")] == 14
+    assert result.values[(1, "out")] == 14
+
+
+def test_unknown_controls_leave_modules_unconstrained():
+    netlist = build_toy_pipeline()
+    relaxer = DiscreteRelaxer(netlist, 1, ctrl={})  # no controls known
+    relaxer.fix(0, "a", 1)
+    result = relaxer.relax()
+    assert result.converged  # nothing evaluable is inconsistent
+    assert (0, "opbmux.y") not in result.values or result.values[
+        (0, "opbmux.y")
+    ] is not None
+
+
+def test_register_hold_route():
+    b = DatapathBuilder("holdreg")
+    x = b.input("x", 8)
+    en = b.ctrl("en", 1)
+    q = b.register("r", x, enable=en)
+    b.output("o", b.add("n", q, b.const("z", 8, 0)))
+    netlist = b.build()
+    # Frame 0 loads, frame 1 stalls: q(2) must equal q(1) = x(0).
+    ctrl = {(0, "en"): 1, (1, "en"): 0}
+    relaxer = DiscreteRelaxer(netlist, 3, ctrl=ctrl)
+    relaxer.fix(0, "x", 42)
+    result = relaxer.relax()
+    assert result.converged
+    assert result.values[(1, "r.y")] == 42
+    assert result.values[(2, "r.y")] == 42
+
+
+def test_register_clear_route():
+    b = DatapathBuilder("clrreg")
+    x = b.input("x", 8)
+    clr = b.ctrl("clr", 1)
+    q = b.register("r", x, clear=clr, clear_value=0)
+    b.output("o", b.add("n", q, b.const("z", 8, 0)))
+    netlist = b.build()
+    ctrl = {(0, "clr"): 1}
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl=ctrl)
+    relaxer.fix(0, "x", 42)
+    result = relaxer.relax()
+    assert result.converged
+    assert result.values[(1, "r.y")] == 0  # squashed
+
+
+def test_stimulus_register_is_free():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 1, ctrl={}, stimulus_registers={"r1"})
+    relaxer.fix(0, "out", 0xFF)
+    result = relaxer.relax()
+    assert result.converged
+    # r1's frame-0 value was solved backward through the xor.
+    assert result.values[(0, "r1.y")] == 0xFF ^ 0x55
+
+
+def test_nonstimulus_register_reset_is_fixed():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 1, ctrl={})
+    relaxer.fix(0, "out", 0xFF)  # impossible: reset 0 ^ 0x55 = 0x55
+    result = relaxer.relax()
+    assert not result.converged
+
+
+def test_dpi_values_extraction():
+    netlist = build_linear_chain()
+    relaxer = DiscreteRelaxer(netlist, 2, ctrl={})
+    relaxer.fix(0, "x", 7)
+    result = relaxer.relax()
+    frames = result.dpi_values(netlist, 2)
+    assert frames[0]["x"] == 7
+    assert frames[1]["x"] == 0  # unassigned defaults to 0
+
+
+def test_relaxed_solution_matches_simulation():
+    """End-to-end: the values relaxation finds replay exactly in the
+    concrete simulator (the ground-truth contract of DPRELAX)."""
+    netlist = build_toy_pipeline()
+    ctrl = full_ctrl({"alusrc": 0, "op": 1, "wbsel": 0}, 3)
+    relaxer = DiscreteRelaxer(netlist, 3, ctrl=ctrl)
+    relaxer.fix(1, "out", 0)
+    relaxer.fix(0, "a", 0xF0)
+    result = relaxer.relax()
+    assert result.converged
+    frames = result.dpi_values(netlist, 3)
+    sim = DatapathSimulator(netlist)
+    per_cycle = []
+    for frame_inputs in frames:
+        externals = dict(frame_inputs)
+        externals.update({"alusrc": 0, "op": 1, "wbsel": 0})
+        per_cycle.append(sim.step(externals))
+    assert per_cycle[1]["out"] == 0

@@ -1,0 +1,99 @@
+"""Tests for DPTRACE path selection."""
+
+import pytest
+
+from repro.core.dptrace import DPTrace, TraceStatus
+from repro.model.pathgraph import DatapathPathAnalyzer
+from tests.helpers import (
+    build_linear_chain,
+    build_masking_datapath,
+    build_toy_pipeline,
+)
+
+
+def test_chain_error_is_trivially_traceable():
+    netlist = build_linear_chain()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=3)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    result = tracer.select_paths("a1.y", 0)
+    assert result.status is TraceStatus.SUCCESS
+    # The path ends at a DPO instance.
+    last_frame, last_net = result.propagation_path[-1]
+    assert last_net == "out"
+
+
+def test_chain_error_at_last_frame_fails():
+    netlist = build_linear_chain()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=2)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    # At the last frame the register never clocks the value out.
+    result = tracer.select_paths("a1.y", 1)
+    assert result.status is TraceStatus.FAILURE
+
+
+def test_toy_pipeline_selects_controls():
+    netlist = build_toy_pipeline()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=3)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    result = tracer.select_paths("alu_add.y", 0)
+    assert result.status is TraceStatus.SUCCESS
+    # Observation forces exmux to route the adder (op=0) at frame 0 and the
+    # write-back mux to route the register (wbsel=0) at frame 1.
+    assert result.ctrl_objectives.get((0, "op")) == 0
+    assert result.ctrl_objectives.get((1, "wbsel")) == 0
+
+
+def test_implied_controls_are_respected():
+    netlist = build_toy_pipeline()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=3)
+    # The controller already committed exmux to the AND result at frame 0:
+    # the adder output cannot be observed in frame 0.
+    tracer = DPTrace(analyzer, implied_ctrl={(0, "op"): 1})
+    result = tracer.select_paths("alu_add.y", 0)
+    assert result.status is TraceStatus.FAILURE
+    assert (0, "op") not in result.ctrl_objectives
+
+
+def test_and_class_side_inputs_get_controlled():
+    netlist = build_masking_datapath()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=1)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    result = tracer.select_paths("adder.y", 0)
+    # m is a DPI (C4 already), so observation through the AND succeeds with
+    # no extra decisions needed on the side input.
+    assert result.status is TraceStatus.SUCCESS
+
+
+def test_unknown_error_net_rejected():
+    netlist = build_linear_chain()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=2)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    with pytest.raises(ValueError):
+        tracer.select_paths("nope", 0)
+    with pytest.raises(ValueError):
+        tracer.select_paths("a1.y", 9)
+
+
+def test_error_on_dpo_is_immediately_observable():
+    netlist = build_linear_chain()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=2)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    # At frame 0 'out' depends only on the reset-state register: it is not
+    # controllable, but it IS closed (C3) — a determined value can still
+    # activate a stuck bit, so path selection succeeds and leaves the
+    # feasibility question to value selection.
+    result = tracer.select_paths("out", 0)
+    assert result.status is TraceStatus.SUCCESS
+    result = tracer.select_paths("out", 1)
+    assert result.status is TraceStatus.SUCCESS
+    assert result.propagation_path == [(1, "out")]
+
+
+def test_fo_choice_recorded():
+    netlist = build_toy_pipeline()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=3)
+    tracer = DPTrace(analyzer, implied_ctrl={})
+    result = tracer.select_paths("alu_add.y", 0)
+    assert result.status is TraceStatus.SUCCESS
+    # Justifying the adder requires granting stem a or b (or alusrc const).
+    assert result.fo_choices or result.ctrl_objectives

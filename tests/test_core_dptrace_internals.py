@@ -1,0 +1,68 @@
+"""Unit tests for DPTRACE search mechanics: variants, discouragement,
+blame metadata and the static observability distance."""
+
+from repro.core.dptrace import DPTrace, Decision, TraceStatus, _observability_distance
+from repro.model.pathgraph import DatapathPathAnalyzer
+from tests.helpers import build_linear_chain, build_toy_pipeline
+
+
+def test_observability_distance():
+    netlist = build_linear_chain()
+    distance = _observability_distance(netlist)
+    assert distance["out"] == 0  # the DPO (x1's output, renamed)
+    assert distance["r1.y"] == 1  # one module from the output
+    assert distance["a1.y"] == 2  # through the register
+    assert distance["x"] == 3
+
+
+def test_rotation_changes_nothing_for_variant_zero():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), 3)
+    tracer = DPTrace(analyzer, {}, variant=0)
+    items = [1, 2, 3]
+    assert tracer._rotate(items) == [1, 2, 3]
+    tracer2 = DPTrace(analyzer, {}, variant=1)
+    assert tracer2._rotate([1, 2, 3]) == [2, 3, 1]
+    assert tracer2._rotate([]) == []
+
+
+def test_discouragement_rotates_values():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), 3)
+    tracer = DPTrace(
+        analyzer, {}, discouraged={((0, "op"), 0)}
+    )
+    decision = Decision("ctrl", (0, "op"), 0, alternatives=[1])
+    rotated = tracer._apply_discouragement(decision)
+    assert rotated.value == 1
+    assert rotated.alternatives == [0]
+
+
+def test_discouragement_keeps_sole_value():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), 3)
+    tracer = DPTrace(analyzer, {}, discouraged={((0, "op"), 0)})
+    decision = Decision("ctrl", (0, "op"), 0, alternatives=[])
+    unchanged = tracer._apply_discouragement(decision)
+    assert unchanged.value == 0
+
+
+def test_control_side_metadata():
+    netlist = build_toy_pipeline()
+    analyzer = DatapathPathAnalyzer(netlist, 3)
+    tracer = DPTrace(analyzer, {})
+    result = tracer.select_paths("alu_add.y", 0)
+    assert result.status is TraceStatus.SUCCESS
+    # Every control-side entry is one of the ctrl objectives.
+    for (var, value) in result.control_side:
+        assert result.ctrl_objectives.get(var) == value
+
+
+def test_variants_explore_different_paths():
+    """With multiple viable observation routes, variants differ."""
+    netlist = build_toy_pipeline()
+    analyzer = DatapathPathAnalyzer(netlist, 4)
+    objective_sets = set()
+    for variant in range(3):
+        tracer = DPTrace(analyzer, {}, variant=variant)
+        result = tracer.select_paths("opbmux.y", 0)
+        if result.status is TraceStatus.SUCCESS:
+            objective_sets.add(tuple(sorted(result.ctrl_objectives.items())))
+    assert objective_sets  # at least one viable selection

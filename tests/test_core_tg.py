@@ -1,0 +1,73 @@
+"""Unit-level tests for the overall TG driver."""
+
+import pytest
+
+from repro.core.tg import TestGenerator, TGStatus
+from repro.errors import BusSSLError, ModuleSubstitutionError
+from repro.mini import build_minipipe
+
+
+@pytest.fixture(scope="module")
+def processor():
+    return build_minipipe()
+
+
+def test_deadline_aborts_quickly(processor):
+    generator = TestGenerator(processor, deadline_seconds=0.0)
+    result = generator.generate(BusSSLError("alu_mux.y", 0, 0))
+    assert result.status is TGStatus.ABORTED
+    assert result.attempts == 0
+
+
+def test_window_bounds_default(processor):
+    generator = TestGenerator(processor)
+    assert generator.min_frames == processor.n_stages + 1
+    assert generator.max_frames == processor.n_stages + 4
+
+
+def test_custom_window_bounds(processor):
+    generator = TestGenerator(processor, min_frames=4, max_frames=4)
+    result = generator.generate(BusSSLError("alu_mux.y", 0, 0))
+    assert result.status is TGStatus.DETECTED
+    assert result.test.n_frames == 4
+
+
+def test_result_records_effort(processor):
+    generator = TestGenerator(processor)
+    result = generator.generate(BusSSLError("alu_mux.y", 2, 1))
+    assert result.status is TGStatus.DETECTED
+    assert result.attempts >= 1
+    assert result.frames_used >= 4
+    assert result.relax_events > 0
+    assert result.error.startswith("bus-ssl")
+
+
+def test_stuck_constant_bit_aborts(processor):
+    """A stuck-at on a bit of the gated-zero constant path that can never
+    differ: the 'zero' constant output is excluded from enumeration, but
+    targeting an impossible activation directly must abort, not loop."""
+    # The comparator output drives only the STS net 'eq', which the model
+    # treats as unobservable: TG must abort cleanly (the paper's aborted
+    # class), not loop.
+    error = BusSSLError("eq", 0, 0)
+    result = TestGenerator(processor).generate(error)
+    assert result.status is TGStatus.ABORTED
+
+
+def test_mse_error_generation(processor):
+    """TG also handles module-substitution errors (site from the netlist,
+    no activation constraint — exposure relies on the seed loop)."""
+    error = ModuleSubstitutionError("alu_add", "AddModule")
+    generator = TestGenerator(processor)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+
+
+def test_tg_caches_window_structures(processor):
+    generator = TestGenerator(processor)
+    generator.generate(BusSSLError("alu_mux.y", 0, 0))
+    analyzers_before = dict(generator._analyzers)
+    generator.generate(BusSSLError("alu_mux.y", 1, 0))
+    # Same windows reused, not rebuilt.
+    for k, v in analyzers_before.items():
+        assert generator._analyzers[k] is v

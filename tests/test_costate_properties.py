@@ -1,0 +1,114 @@
+"""Lattice/monotonicity properties of the C/O state algebra.
+
+The search relies on two meta-properties of the Figure 5 propagation rules:
+
+* **decision monotonicity** — making a decision (C1 -> {C2, C3, C4},
+  resolving a mux select) never moves an output from 'decided' back to
+  'unknown' in a way that breaks earlier conclusions: concretely, if all
+  inputs are final (C3/C4) the output is final;
+* **conservatism** — O3 is only granted when the class semantics
+  guarantee propagation (side inputs closed for ADD, controlled for AND,
+  selected for MUX).
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core.costates import (
+    CState,
+    OState,
+    add_c_forward,
+    add_o_backward,
+    and_c_forward,
+    and_o_backward,
+    branch_c_from_stem,
+    mux_c_forward,
+    mux_o_backward,
+    net_o_from_sinks,
+)
+
+ALL_C = list(CState)
+ALL_O = list(OState)
+FINAL = (CState.C3, CState.C4)
+
+
+def is_final(state: CState) -> bool:
+    return state in FINAL
+
+
+@pytest.mark.parametrize("forward", [add_c_forward, and_c_forward])
+def test_final_inputs_give_final_outputs(forward):
+    for a, b in product(ALL_C, repeat=2):
+        result = forward([a, b])
+        if is_final(a) and is_final(b):
+            assert is_final(result), (forward.__name__, a, b, result)
+
+
+def test_mux_final_when_selected_final():
+    for a, b in product(ALL_C, repeat=2):
+        assert mux_c_forward([a, b], selected=0) is a
+        assert mux_c_forward([a, b], selected=1) is b
+
+
+def test_c_tables_are_symmetric():
+    for a, b in product(ALL_C, repeat=2):
+        assert add_c_forward([a, b]) is add_c_forward([b, a])
+        assert and_c_forward([a, b]) is and_c_forward([b, a])
+
+
+def test_add_dominates_and():
+    """An ADD-class module is never harder to control than an AND-class
+    one with the same inputs (single-input vs all-input justification)."""
+    rank = {CState.C3: 0, CState.C2: 1, CState.C1: 2, CState.C4: 3}
+    for a, b in product(ALL_C, repeat=2):
+        add_result = add_c_forward([a, b])
+        and_result = and_c_forward([a, b])
+        assert rank[add_result] >= rank[and_result], (a, b)
+
+
+def test_o3_requires_closed_sides_add():
+    for out, side in product(ALL_O, ALL_C):
+        result = add_o_backward(out, [side])
+        if result is OState.O3:
+            assert out is OState.O3 and side in FINAL
+
+
+def test_o3_requires_controlled_sides_and():
+    for out, side in product(ALL_O, ALL_C):
+        result = and_o_backward(out, [side])
+        if result is OState.O3:
+            assert out is OState.O3 and side is CState.C4
+
+
+def test_o2_is_sticky():
+    """A blocked output can never make an input observable."""
+    for side in ALL_C:
+        assert add_o_backward(OState.O2, [side]) is OState.O2
+        assert and_o_backward(OState.O2, [side]) is OState.O2
+    for sel, idx in product((None, 0, 1), (0, 1)):
+        assert mux_o_backward(OState.O2, sel, idx) is OState.O2
+
+
+def test_mux_deselected_input_blocked():
+    for out in ALL_O:
+        assert mux_o_backward(out, selected=1, input_index=0) is OState.O2
+
+
+def test_net_o_join_is_monotone():
+    """Adding an observable sink can only improve the stem's O-state."""
+    for states in product(ALL_O, repeat=2):
+        base = net_o_from_sinks(list(states))
+        improved = net_o_from_sinks(list(states) + [OState.O3])
+        assert improved is OState.O3 or base is improved
+
+
+def test_branch_never_exceeds_stem():
+    """A fanout branch is never easier to control than its stem."""
+    rank = {CState.C3: 0, CState.C2: 1, CState.C1: 2, CState.C4: 3}
+    for stem, choice, index in product(ALL_C, (None, 0, 1), (0, 1)):
+        branch = branch_c_from_stem(stem, choice, index)
+        if choice == index:
+            assert branch is stem  # the granted branch inherits exactly
+        else:
+            assert rank[branch] <= rank[stem] or branch is CState.C2

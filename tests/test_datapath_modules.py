@@ -1,0 +1,347 @@
+"""Unit and property tests for the word-level module library.
+
+The key invariant for every module is the *solve/evaluate contract*: whenever
+``solve_input(i, target, inputs, controls)`` returns a value v, substituting
+v for input i must make ``evaluate`` produce exactly ``target``.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datapath.module import ModuleClass
+from repro.datapath.modules import (
+    AddModule,
+    AddOvfModule,
+    AndModule,
+    ConcatModule,
+    ConstantModule,
+    EqModule,
+    GeModule,
+    GtModule,
+    GtuModule,
+    LeModule,
+    LtModule,
+    LtuModule,
+    MuxModule,
+    NandModule,
+    NeModule,
+    NorModule,
+    NotModule,
+    OrModule,
+    RegisterModule,
+    ShlModule,
+    ShrModule,
+    SignExtendModule,
+    SliceModule,
+    SraModule,
+    SubModule,
+    SubOvfModule,
+    TristateModule,
+    XnorModule,
+    XorModule,
+    ZeroExtendModule,
+)
+from repro.utils import mask, to_signed
+
+W = 8
+words = st.integers(0, mask(W))
+
+
+# ---------------------------------------------------------------------------
+# Forward semantics
+# ---------------------------------------------------------------------------
+def test_add_wraps_modulo():
+    m = AddModule("add", W)
+    assert m.evaluate([0xFF, 1], []) == 0
+    assert m.evaluate([100, 28], []) == 128
+
+
+def test_sub_wraps_modulo():
+    m = SubModule("sub", W)
+    assert m.evaluate([0, 1], []) == 0xFF
+    assert m.evaluate([5, 3], []) == 2
+
+
+def test_logic_gates():
+    assert AndModule("a", W).evaluate([0b1100, 0b1010], []) == 0b1000
+    assert OrModule("o", W).evaluate([0b1100, 0b1010], []) == 0b1110
+    assert XorModule("x", W).evaluate([0b1100, 0b1010], []) == 0b0110
+    assert NandModule("na", W).evaluate([0b1100, 0b1010], []) == 0xF7
+    assert NorModule("no", W).evaluate([0b1100, 0b1010], []) == 0xF1
+    assert XnorModule("xn", W).evaluate([0b1100, 0b1010], []) == 0xF9
+    assert NotModule("n", W).evaluate([0b1100], []) == 0xF3
+
+
+def test_predicates_signed():
+    lt = LtModule("lt", W)
+    assert lt.evaluate([0xFF, 0], []) == 1  # -1 < 0
+    assert lt.evaluate([0, 0xFF], []) == 0
+    ge = GeModule("ge", W)
+    assert ge.evaluate([0, 0xFF], []) == 1
+    gt = GtModule("gt", W)
+    assert gt.evaluate([1, 0xFF], []) == 1
+    le = LeModule("le", W)
+    assert le.evaluate([0x80, 0x7F], []) == 1  # -128 <= 127
+
+
+def test_predicates_unsigned():
+    assert LtuModule("ltu", W).evaluate([0, 0xFF], []) == 1
+    assert GtuModule("gtu", W).evaluate([0xFF, 0], []) == 1
+
+
+def test_eq_ne():
+    assert EqModule("eq", W).evaluate([7, 7], []) == 1
+    assert EqModule("eq2", W).evaluate([7, 8], []) == 0
+    assert NeModule("ne", W).evaluate([7, 8], []) == 1
+
+
+def test_overflow_predicates():
+    assert AddOvfModule("ao", W).evaluate([0x7F, 1], []) == 1
+    assert AddOvfModule("ao2", W).evaluate([0x7F, 0], []) == 0
+    assert SubOvfModule("so", W).evaluate([0x80, 1], []) == 1
+    assert SubOvfModule("so2", W).evaluate([0x80, 0], []) == 0
+
+
+def test_shifts():
+    assert ShlModule("shl", W, 3).evaluate([0b1, 3], []) == 0b1000
+    assert ShrModule("shr", W, 3).evaluate([0b1000, 3], []) == 0b1
+    assert SraModule("sra", W, 3).evaluate([0x80, 1], []) == 0xC0
+    assert SraModule("sra2", W, 3).evaluate([0x40, 1], []) == 0x20
+
+
+def test_shift_beyond_width():
+    assert ShlModule("shl", 4, 4).evaluate([0b1111, 8], []) == 0
+    assert ShrModule("shr", 4, 4).evaluate([0b1111, 8], []) == 0
+
+
+def test_extend_and_slice():
+    assert SignExtendModule("se", 4, 8).evaluate([0x8], []) == 0xF8
+    assert ZeroExtendModule("ze", 4, 8).evaluate([0x8], []) == 0x08
+    assert SliceModule("sl", 8, 4, 4).evaluate([0xAB], []) == 0xA
+
+
+def test_slice_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        SliceModule("sl", 8, 6, 4)
+
+
+def test_concat():
+    m = ConcatModule("c", 4, 4)
+    assert m.evaluate([0xB, 0xA], []) == 0xAB
+
+
+def test_mux_selects():
+    m = MuxModule("m", W, 3)
+    assert m.evaluate([10, 20, 30], [0]) == 10
+    assert m.evaluate([10, 20, 30], [2]) == 30
+    # out-of-range select falls back to input 0
+    assert m.evaluate([10, 20, 30], [3]) == 10
+
+
+def test_mux_rejects_single_input():
+    with pytest.raises(ValueError):
+        MuxModule("m", W, 1)
+
+
+def test_tristate():
+    m = TristateModule("t", W)
+    assert m.evaluate([0x5A], [1]) == 0x5A
+    assert m.evaluate([0x5A], [0]) == 0
+
+
+def test_constant_and_register():
+    c = ConstantModule("c", W, 300)  # wraps to 300 & 0xFF
+    assert c.evaluate([], []) == 300 & 0xFF
+    r = RegisterModule("r", W, reset_value=7)
+    assert r.reset_value == 7
+    assert r.next_state(7, 99, []) == 99
+    with pytest.raises(RuntimeError):
+        r.evaluate([0], [])
+
+
+def test_register_enable_and_clear():
+    r = RegisterModule("r", W, has_enable=True, has_clear=True, clear_value=0xEE)
+    assert r.next_state(5, 99, [0, 0]) == 5  # stalled
+    assert r.next_state(5, 99, [1, 0]) == 99  # normal
+    assert r.next_state(5, 99, [1, 1]) == 0xEE  # squashed
+    assert r.next_state(5, 99, [0, 1]) == 0xEE  # clear wins over stall
+
+
+# ---------------------------------------------------------------------------
+# Module classes match the paper's taxonomy
+# ---------------------------------------------------------------------------
+def test_module_classes():
+    assert AddModule("a", W).module_class is ModuleClass.ADD
+    assert SubModule("s", W).module_class is ModuleClass.ADD
+    assert XorModule("x", W).module_class is ModuleClass.ADD
+    assert LtModule("lt", W).module_class is ModuleClass.ADD
+    assert AddOvfModule("ao", W).module_class is ModuleClass.ADD
+    assert AndModule("an", W).module_class is ModuleClass.AND
+    assert OrModule("o", W).module_class is ModuleClass.AND
+    assert ShlModule("sh", W, 3).module_class is ModuleClass.AND
+    assert MuxModule("m", W, 2).module_class is ModuleClass.MUX
+    assert TristateModule("t", W).module_class is ModuleClass.MUX
+    assert ConstantModule("c", W, 0).module_class is ModuleClass.SOURCE
+    assert RegisterModule("r", W).module_class is ModuleClass.STATE
+
+
+# ---------------------------------------------------------------------------
+# solve/evaluate contract (property tests)
+# ---------------------------------------------------------------------------
+def _check_contract(module, index, target, inputs, controls=()):
+    value = module.solve_input(index, target, list(inputs), list(controls))
+    if value is not None:
+        trial = list(inputs)
+        trial[index] = value
+        assert module.evaluate(trial, list(controls)) == target
+    return value
+
+
+@given(words, words, st.integers(0, 1))
+def test_add_solve_always_succeeds(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    assert _check_contract(AddModule("a", W), index, target, inputs) is not None
+
+
+@given(words, words, st.integers(0, 1))
+def test_sub_solve_always_succeeds(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    assert _check_contract(SubModule("s", W), index, target, inputs) is not None
+
+
+@given(words, words, st.integers(0, 1))
+def test_xor_solve_always_succeeds(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    assert _check_contract(XorModule("x", W), index, target, inputs) is not None
+
+
+@given(words, words)
+def test_xnor_solve(other, target):
+    assert _check_contract(XnorModule("x", W), 0, target, [None, other]) is not None
+
+
+@given(words)
+def test_not_solve(target):
+    assert _check_contract(NotModule("n", W), 0, target, [None]) is not None
+
+
+@given(words, words, st.integers(0, 1))
+def test_and_solve_contract(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    value = _check_contract(AndModule("a", W), index, target, inputs)
+    # Solvable exactly when the other input has 1s everywhere target does.
+    assert (value is not None) == (target & ~other & mask(W) == 0)
+
+
+@given(words, words, st.integers(0, 1))
+def test_or_solve_contract(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    value = _check_contract(OrModule("o", W), index, target, inputs)
+    assert (value is not None) == (other & ~target & mask(W) == 0)
+
+
+@given(words, words, st.integers(0, 1))
+def test_nand_nor_solve_contract(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    _check_contract(NandModule("na", W), index, target, inputs)
+    _check_contract(NorModule("no", W), index, target, inputs)
+
+
+@given(words, st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+def test_predicate_solve_contract(other, target, index, which):
+    for cls in (EqModule, NeModule, LtModule, LeModule, GtModule, GeModule,
+                LtuModule, GtuModule, AddOvfModule, SubOvfModule):
+        inputs = [None, None]
+        inputs[1 - index] = other
+        _check_contract(cls("p", W), index, target, inputs)
+
+
+def test_eq_solve_finds_equal_and_unequal():
+    eq = EqModule("eq", W)
+    assert eq.solve_input(0, 1, [None, 42], []) == 42
+    value = eq.solve_input(0, 0, [None, 42], [])
+    assert value is not None and value != 42
+
+
+def test_lt_solve_impossible_at_extreme():
+    lt = LtModule("lt", W)
+    # Nothing is < -128 (signed 8-bit), so target 1 with b = 0x80 must fail.
+    assert lt.solve_input(0, 1, [None, 0x80], []) is None
+
+
+@given(words, st.integers(0, W), words)
+def test_shift_solve_contract(a, amount, target):
+    for cls in (ShlModule, ShrModule, SraModule):
+        m = cls("sh", W, 4)
+        _check_contract(m, 0, target, [None, amount])
+        _check_contract(m, 1, target, [a, None])
+
+
+def test_shl_solve_exact():
+    shl = ShlModule("shl", W, 3)
+    value = shl.solve_input(0, 0b1000, [None, 3], [])
+    assert value is not None
+    assert shl.evaluate([value, 3], []) == 0b1000
+    # Impossible when the target has 1s in the low (shifted-in) bits.
+    assert shl.solve_input(0, 0b0001, [None, 3], []) is None
+
+
+@given(words, words, words, st.integers(0, 2), st.integers(0, 2))
+def test_mux_solve_contract(a, b, target, sel, index):
+    m = MuxModule("m", W, 3)
+    inputs = [a, b, 0]
+    inputs[index] = None
+    value = m.solve_input(index, target, inputs, [sel])
+    if sel == index:
+        assert value == target
+    else:
+        assert value is None
+
+
+@given(words, st.integers(0, 1))
+def test_tristate_solve(target, enable):
+    t = TristateModule("t", W)
+    value = t.solve_input(0, target, [None], [enable])
+    if enable:
+        assert value == target
+    else:
+        assert value is None
+
+
+@given(st.integers(0, mask(16)))
+def test_sign_extend_solve_contract(target):
+    m = SignExtendModule("se", 8, 16)
+    value = m.solve_input(0, target, [None], [])
+    valid = to_signed(target, 16) == to_signed(target & 0xFF, 8)
+    assert (value is not None) == valid
+
+
+@given(st.integers(0, mask(16)))
+def test_zero_extend_solve_contract(target):
+    m = ZeroExtendModule("ze", 8, 16)
+    value = m.solve_input(0, target, [None], [])
+    assert (value is not None) == (target <= 0xFF)
+
+
+@given(st.integers(0, mask(4)))
+def test_slice_solve_contract(target):
+    m = SliceModule("sl", 8, 2, 4)
+    value = m.solve_input(0, target, [None], [])
+    assert value is not None
+    assert m.evaluate([value], []) == target
+
+
+@given(st.integers(0, mask(8)), st.integers(0, mask(4)), st.integers(0, 1))
+def test_concat_solve_contract(target_low_part, other, index):
+    m = ConcatModule("c", 4, 4)
+    inputs = [None, None]
+    inputs[1 - index] = other
+    target = target_low_part
+    _check_contract(m, index, target, inputs)

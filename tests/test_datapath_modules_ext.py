@@ -1,0 +1,101 @@
+"""Tests for the extended module library (mult, min/max, abs, rotates)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datapath.module import ModuleClass
+from repro.datapath.modules import (
+    AbsModule,
+    MaxModule,
+    MinModule,
+    MultModule,
+    RotlModule,
+    RotrModule,
+)
+from repro.utils import mask, to_signed, to_unsigned
+
+W = 8
+words = st.integers(0, mask(W))
+
+
+def test_classes():
+    assert MultModule("m", W).module_class is ModuleClass.AND
+    assert MinModule("m", W).module_class is ModuleClass.AND
+    assert MaxModule("m", W).module_class is ModuleClass.AND
+    assert AbsModule("m", W).module_class is ModuleClass.ADD
+    assert RotlModule("m", W, 3).module_class is ModuleClass.AND
+
+
+@given(words, words)
+def test_mult_semantics(a, b):
+    assert MultModule("m", W).evaluate([a, b], []) == (a * b) & mask(W)
+
+
+@given(words, words)
+def test_min_max_semantics(a, b):
+    lo = MinModule("mn", W).evaluate([a, b], [])
+    hi = MaxModule("mx", W).evaluate([a, b], [])
+    assert {lo, hi} == {a, b} or lo == hi
+    assert to_signed(lo, W) <= to_signed(hi, W)
+
+
+@given(words)
+def test_abs_semantics(a):
+    result = AbsModule("ab", W).evaluate([a], [])
+    assert result == to_unsigned(abs(to_signed(a, W)), W)
+
+
+@given(words, st.integers(0, 15))
+def test_rotate_roundtrip(a, amount):
+    left = RotlModule("rl", W, 4).evaluate([a, amount], [])
+    back = RotrModule("rr", W, 4).evaluate([left, amount], [])
+    assert back == a
+
+
+@given(words, st.integers(0, 15))
+def test_rotate_preserves_popcount(a, amount):
+    rotated = RotlModule("rl", W, 4).evaluate([a, amount], [])
+    assert bin(rotated).count("1") == bin(a).count("1")
+
+
+def _check_contract(module, index, target, inputs):
+    value = module.solve_input(index, target, list(inputs), [])
+    if value is not None:
+        trial = list(inputs)
+        trial[index] = value
+        assert module.evaluate(trial, []) == target
+    return value
+
+
+@given(words, words, st.integers(0, 1))
+def test_mult_solve_contract(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    _check_contract(MultModule("m", W), index, target, inputs)
+
+
+@given(st.integers(1, mask(W), ).filter(lambda v: v % 2 == 1), words)
+def test_mult_solve_odd_factor_always_works(odd, target):
+    m = MultModule("m", W)
+    value = m.solve_input(0, target, [None, odd], [])
+    assert value is not None
+    assert m.evaluate([value, odd], []) == target
+
+
+@given(words, words, st.integers(0, 1))
+def test_min_max_solve_contract(other, target, index):
+    inputs = [None, None]
+    inputs[1 - index] = other
+    _check_contract(MinModule("mn", W), index, target, inputs)
+    _check_contract(MaxModule("mx", W), index, target, inputs)
+
+
+@given(words)
+def test_abs_solve_contract(target):
+    _check_contract(AbsModule("ab", W), 0, target, [None])
+
+
+def test_abs_solve_negative_target_impossible():
+    # |x| can never be a value with the sign bit set (except min itself).
+    assert AbsModule("ab", W).solve_input(0, 0x90, [None], []) is None
+    assert AbsModule("ab", W).solve_input(0, 0x80, [None], []) == 0x80

@@ -1,0 +1,221 @@
+"""Tests for netlist construction, validation and the builder/simulator."""
+
+import pytest
+
+from repro.datapath import (
+    DatapathBuilder,
+    DatapathSimulator,
+    NetRole,
+    NetlistError,
+)
+from repro.utils import mask
+
+
+def build_tiny_alu():
+    """y = (a + b) when op=0 else (a & b); z = (a == b)."""
+    b = DatapathBuilder("tiny_alu")
+    a = b.input("a", 8)
+    c = b.input("b", 8)
+    op = b.ctrl("op", 1)
+    total = b.add("adder", a, c)
+    conj = b.and_("ander", a, c)
+    y = b.mux("outmux", op, total, conj)
+    b.output("y", y)
+    b.status("eq", b.eq("cmp", a, c))
+    return b.build()
+
+
+def test_builder_produces_valid_netlist():
+    netlist = build_tiny_alu()
+    assert netlist.net("a").role is NetRole.DPI
+    assert netlist.net("y").role is NetRole.DPO
+    assert netlist.net("eq").role is NetRole.STS
+    assert netlist.net("op").role is NetRole.CTRL
+    assert len(netlist.combinational_modules) == 4
+
+
+def test_fanout_stems_detected():
+    netlist = build_tiny_alu()
+    stems = {n.name for n in netlist.fanout_stems()}
+    # a and b each feed adder, ander, and cmp.
+    assert "a" in stems and "b" in stems
+
+
+def test_simulator_add_and_mux():
+    sim = DatapathSimulator(build_tiny_alu())
+    values = sim.evaluate({"a": 5, "b": 3, "op": 0})
+    assert values["y"] == 8
+    values = sim.evaluate({"a": 5, "b": 3, "op": 1})
+    assert values["y"] == 1
+    assert values["eq"] == 0
+    values = sim.evaluate({"a": 7, "b": 7, "op": 0})
+    assert values["eq"] == 1
+
+
+def test_simulator_missing_external_defaults_to_zero():
+    sim = DatapathSimulator(build_tiny_alu())
+    values = sim.evaluate({})
+    assert values["y"] == 0
+
+
+def test_register_pipeline_steps():
+    b = DatapathBuilder("pipe")
+    a = b.input("a", 8)
+    q1 = b.register("r1", a)
+    q2 = b.register("r2", q1)
+    b.output("out", b.add("inc", q2, b.const("one", 8, 1)))
+    netlist = b.build()
+    sim = DatapathSimulator(netlist)
+    outs = [sim.step({"a": v})["out"] for v in (10, 20, 30, 0)]
+    # Two-stage delay: out sees reset (0) for two cycles, then 10+1, 20+1.
+    assert outs == [1, 1, 11, 21]
+
+
+def test_register_enable_stalls():
+    b = DatapathBuilder("stall")
+    a = b.input("a", 8)
+    en = b.ctrl("en", 1)
+    q = b.register("r", a, enable=en)
+    b.output("out", b.add("nop", q, b.const("zero", 8, 0)))
+    sim = DatapathSimulator(b.build())
+    sim.step({"a": 42, "en": 1})
+    assert sim.state["r"] == 42
+    sim.step({"a": 99, "en": 0})
+    assert sim.state["r"] == 42  # held
+    sim.step({"a": 99, "en": 1})
+    assert sim.state["r"] == 99
+
+
+def test_register_clear_squashes():
+    b = DatapathBuilder("squash")
+    a = b.input("a", 8)
+    clr = b.ctrl("clr", 1)
+    b.register("r", a, clear=clr, clear_value=0)
+    sim = DatapathSimulator(b.build())
+    sim.step({"a": 42, "clr": 0})
+    assert sim.state["r"] == 42
+    sim.step({"a": 99, "clr": 1})
+    assert sim.state["r"] == 0
+
+
+def test_injector_corrupts_named_net():
+    netlist = build_tiny_alu()
+
+    def stuck_bit0(net_name, value):
+        if net_name == "adder.y":
+            return value | 1
+        return value
+
+    good = DatapathSimulator(netlist)
+    bad = DatapathSimulator(netlist, injector=stuck_bit0)
+    g = good.evaluate({"a": 4, "b": 4, "op": 0})
+    e = bad.evaluate({"a": 4, "b": 4, "op": 0})
+    assert g["y"] == 8 and e["y"] == 9
+
+
+def test_duplicate_net_name_rejected():
+    b = DatapathBuilder("dup")
+    b.input("a", 8)
+    with pytest.raises(NetlistError):
+        b.input("a", 8)
+
+
+def test_duplicate_module_name_rejected():
+    b = DatapathBuilder("dup")
+    a = b.input("a", 8)
+    b.add("m", a, a)
+    with pytest.raises(NetlistError):
+        b.add("m", a, a)
+
+
+def test_width_mismatch_rejected():
+    b = DatapathBuilder("w")
+    a = b.input("a", 8)
+    c = b.input("c", 4)
+    with pytest.raises(NetlistError):
+        b.add("bad", a, c)
+
+
+def test_undriven_internal_net_rejected():
+    b = DatapathBuilder("undriven")
+    b.netlist.add_net("floating", 8, NetRole.STS)
+    with pytest.raises(NetlistError):
+        b.build()
+
+
+def test_combinational_cycle_rejected():
+    b = DatapathBuilder("cyc")
+    a = b.input("a", 8)
+    # Create a module whose input we then wire to its own output cone.
+    y1 = b.add("m1", a, a)
+    y2 = b.add("m2", y1, y1)
+    # Manually wire m1's second input to m2's output to create a cycle.
+    m1 = b.netlist.module("m1")
+    m1.data_inputs[1].net.sinks.remove(m1.data_inputs[1])
+    b.netlist.connect(y2, m1.add_data_input("extra", 8))
+    with pytest.raises(NetlistError):
+        b.netlist.topological_order()
+
+
+def test_state_bits_accounting():
+    b = DatapathBuilder("state")
+    a = b.input("a", 8)
+    q = b.register("r1", a)
+    b.register("r2", q)
+    b.output("o", b.add("n", q, q))
+    netlist = b.build()
+    assert netlist.state_bits() == 16
+
+
+def test_stage_tagging():
+    b = DatapathBuilder("staged")
+    b.set_stage(0)
+    a = b.input("a", 8)
+    y = b.add("m", a, a)
+    b.set_stage(1)
+    z = b.add("m2", y, y)
+    b.output("o", z)
+    netlist = b.build()
+    assert netlist.net("m.y").stage == 0
+    assert netlist.net("o").stage == 1
+    assert netlist.module("m").stage == 0
+    assert {n.name for n in netlist.nets_in_stages({1})} >= {"o"}
+
+
+def test_rename_rejects_collision():
+    b = DatapathBuilder("r")
+    a = b.input("a", 8)
+    y = b.add("m", a, a)
+    with pytest.raises(ValueError):
+        b.rename(y, "a")
+
+
+def test_double_role_mark_rejected():
+    b = DatapathBuilder("r")
+    a = b.input("a", 8)
+    y = b.add("m", a, a)
+    b.output("o", y)
+    with pytest.raises(ValueError):
+        b.status("s", y)
+
+
+def test_run_sequence():
+    b = DatapathBuilder("seq")
+    a = b.input("a", 8)
+    q = b.register("r", a)
+    b.output("o", b.add("n", q, b.const("z", 8, 0)))
+    sim = DatapathSimulator(b.build())
+    traces = sim.run([{"a": 1}, {"a": 2}, {"a": 3}])
+    assert [t["o"] for t in traces] == [0, 1, 2]
+    sim.reset()
+    assert sim.state["r"] == 0
+
+
+def test_values_respect_width():
+    b = DatapathBuilder("wmask")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    b.output("o", b.add("n", a, c))
+    sim = DatapathSimulator(b.build())
+    values = sim.evaluate({"a": mask(8), "c": mask(8)})
+    assert 0 <= values["o"] <= mask(8)

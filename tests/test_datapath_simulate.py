@@ -1,0 +1,72 @@
+"""Tests for partial (three-valued) datapath evaluation and overrides."""
+
+from repro.datapath import DatapathBuilder, DatapathSimulator
+from tests.helpers import build_toy_pipeline
+
+
+def test_partial_unknown_inputs_propagate():
+    sim = DatapathSimulator(build_toy_pipeline())
+    values = sim.evaluate_partial({"a": 5})
+    assert values["a"] == 5
+    assert values["b"] is None
+    assert values["alu_add.y"] is None  # needs b
+    assert values["eq"] is None
+
+
+def test_partial_mux_needs_only_selected_input():
+    sim = DatapathSimulator(build_toy_pipeline())
+    # alusrc=1 selects the constant 4: opb resolves without b.
+    values = sim.evaluate_partial({"a": 3, "alusrc": 1, "op": 0})
+    assert values["opbmux.y"] == 4
+    assert values["alu_add.y"] == 7
+    # The AND unit still needs opb (known) and a (known): resolved too.
+    assert values["alu_and.y"] == 3 & 4
+
+
+def test_partial_unknown_control_blocks_module():
+    sim = DatapathSimulator(build_toy_pipeline())
+    values = sim.evaluate_partial({"a": 3, "b": 9})
+    assert values["opbmux.y"] is None  # alusrc unknown
+    assert values["eq"] == 0  # comparator needs only a, b
+
+
+def test_partial_state_is_always_known():
+    b = DatapathBuilder("st")
+    x = b.input("x", 8)
+    q = b.register("r", x, reset_value=0x42)
+    b.output("o", b.add("n", q, b.const("z", 8, 0)))
+    sim = DatapathSimulator(b.build())
+    values = sim.evaluate_partial({})
+    assert values["r.y"] == 0x42
+    assert values["o"] == 0x42
+
+
+def test_partial_injection_applies_to_known_values():
+    netlist = build_toy_pipeline()
+
+    def stuck(net, value):
+        return value | 1 if net == "alu_add.y" else value
+
+    sim = DatapathSimulator(netlist, injector=stuck)
+    values = sim.evaluate_partial({"a": 2, "b": 2, "alusrc": 0, "op": 0})
+    assert values["alu_add.y"] == 5
+
+
+def test_module_override_in_full_evaluation():
+    netlist = build_toy_pipeline()
+    sim = DatapathSimulator(
+        netlist,
+        module_overrides={"alu_add": lambda ins, ctl: (ins[0] - ins[1]) & 0xFF},
+    )
+    values = sim.evaluate({"a": 9, "b": 4, "alusrc": 0, "op": 0})
+    assert values["alu_add.y"] == 5
+
+
+def test_module_override_in_partial_evaluation():
+    netlist = build_toy_pipeline()
+    sim = DatapathSimulator(
+        netlist,
+        module_overrides={"alu_and": lambda ins, ctl: ins[0] | ins[1]},
+    )
+    values = sim.evaluate_partial({"a": 1, "b": 2, "alusrc": 0, "op": 1})
+    assert values["alu_and.y"] == 3

@@ -1,0 +1,91 @@
+"""Tests for the DLX assembler/disassembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dlx.asm import AsmError, assemble, assemble_line, disassemble
+from repro.dlx.isa import MNEMONIC_LIST, Instruction
+from repro.dlx.spec import DlxSpec
+
+
+def test_basic_forms():
+    program = assemble(
+        """
+        ; a comment line
+        ADD r3, r1, r2
+        ADDI r2, r1, #5
+        SLLI r2, r1, #3
+        LW r2, 8(r1)
+        SW 4(r1), r2
+        BEQZ r1
+        JR r1
+        JAL #16
+        J
+        NOP
+        """
+    )
+    assert [i.op for i in program] == [
+        "ADD", "ADDI", "SLLI", "LW", "SW", "BEQZ", "JR", "JAL", "J", "ADDI",
+    ]
+    lw = program[3]
+    assert (lw.rt, lw.rs, lw.imm) == (2, 1, 8)
+    sw = program[4]
+    assert (sw.rs, sw.rt, sw.imm) == (1, 2, 4)
+
+
+def test_negative_and_hex_immediates():
+    instr = assemble_line("ADDI r1, r0, #-1")
+    assert instr.imm == 0xFFFF
+    instr = assemble_line("ANDI r1, r0, #0xFF")
+    assert instr.imm == 0xFF
+
+
+def test_errors():
+    with pytest.raises(AsmError):
+        assemble_line("FROB r1, r2, r3")
+    with pytest.raises(AsmError):
+        assemble_line("ADD r1, r2")  # missing operand
+    with pytest.raises(AsmError):
+        assemble_line("ADD r1, r2, r99")  # bad register
+    with pytest.raises(AsmError):
+        assemble_line("ADDI r1, r0, #70000")  # immediate out of range
+    with pytest.raises(AsmError):
+        assemble_line("LW r1, 8[r2]")  # bad memory syntax
+    with pytest.raises(AsmError):
+        assemble_line("NOP r1")
+    with pytest.raises(AsmError):
+        assemble_line("J r1")
+
+
+def test_blank_and_comment_lines_skipped():
+    assert assemble("\n  ; only comments\n# hash comment\n") == []
+
+
+instruction_strategy = st.builds(
+    Instruction,
+    op=st.sampled_from(MNEMONIC_LIST),
+    rs=st.integers(0, 31),
+    rt=st.integers(0, 31),
+    rd=st.integers(0, 31),
+    imm=st.integers(0, 0xFFFF),
+)
+
+
+@given(st.lists(instruction_strategy, max_size=12))
+def test_roundtrip_preserves_semantics(program):
+    """assemble(disassemble(p)) behaves identically to p under the spec.
+
+    (Field-level equality doesn't hold — don't-care fields are dropped by
+    the textual form — so the property is semantic equivalence.)
+    """
+    text = disassemble(program)
+    reassembled = assemble(text)
+    assert len(reassembled) == len(program)
+    init = [0] + [7 * i + 1 for i in range(1, 32)]
+    init_memory = {0: 0x11223344, 4: 0x55667788}
+    spec = DlxSpec()
+    original = spec.run(program, init, init_memory)
+    rebuilt = spec.run(reassembled, init, init_memory)
+    assert original.events == rebuilt.events
+    assert original.registers == rebuilt.registers

@@ -1,0 +1,163 @@
+"""Unit tests for the DLX controller's decode, hazard and forwarding logic."""
+
+import pytest
+
+from repro.dlx.controller import SQUASH_OP, build_dlx_controller
+from repro.dlx.isa import (
+    Instruction,
+    OPCODES,
+    to_cpi,
+)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return build_dlx_controller()
+
+
+def drive_instruction(controller, state, instruction, sts=None):
+    inputs = dict(to_cpi(instruction))
+    inputs.update(sts or {})
+    return controller.simulate_cycle(state, inputs)
+
+
+def run_instructions(controller, instructions, sts_per_cycle=None):
+    """Clock a list of instructions through; returns per-cycle values."""
+    state = controller.reset_state()
+    traces = []
+    for i, instruction in enumerate(instructions):
+        sts = (sts_per_cycle or {}).get(i, {"zero": 0, "addrlo": 0})
+        values, state = drive_instruction(controller, state, instruction, sts)
+        traces.append(values)
+    return traces, state
+
+
+def test_reset_state_is_inert(controller):
+    state = controller.reset_state()
+    assert state["op_id"] == SQUASH_OP
+    values, _ = drive_instruction(
+        controller, state, Instruction("ADD"), {"zero": 0, "addrlo": 0}
+    )
+    assert values["regwrite_g_ctl"] == 0
+    assert values["memwrite_ctl"] == 0
+    assert values["stall"] == 0
+    assert values["branch_taken"] == 0
+
+
+def test_decode_classes(controller):
+    cases = [
+        (Instruction("ADD", rd=3), dict(regwrite_id=1, alusrc_id=0)),
+        (Instruction("ADDI", rt=3), dict(regwrite_id=1, alusrc_id=1)),
+        (Instruction("LW", rt=3), dict(memread_id=1, memtoreg_id=1)),
+        (Instruction("SW"), dict(memwrite_id=1, regwrite_id=0)),
+        (Instruction("BEQZ"), dict(is_beqz_id=1, regwrite_id=0)),
+        (Instruction("J"), dict(jump_in_id=1, uses_rs_id=0)),
+        (Instruction("JR"), dict(jump_in_id=1, uses_rs_id=1)),
+    ]
+    for instruction, expected in cases:
+        # Clock the instruction into ID, then observe the decode.
+        traces, state = run_instructions(
+            controller, [instruction, Instruction("ADDI")]
+        )
+        for signal, value in expected.items():
+            assert traces[1][signal] == value, (instruction.op, signal)
+
+
+def test_dest_selection(controller):
+    # R-type -> rd, I-type -> rt, JAL -> r31.
+    for instruction, dest in [
+        (Instruction("ADD", rs=1, rt=2, rd=3), 3),
+        (Instruction("ADDI", rs=1, rt=2), 2),
+        (Instruction("JAL"), 31),
+    ]:
+        traces, _ = run_instructions(
+            controller, [instruction, Instruction("ADDI")]
+        )
+        assert traces[1]["dest_id"] == dest, instruction.op
+
+
+def test_load_use_stall_asserted(controller):
+    program = [
+        Instruction("LW", rs=1, rt=2),
+        Instruction("ADD", rs=2, rt=3, rd=4),  # uses the loaded r2
+        Instruction("ADDI"),
+    ]
+    traces, _ = run_instructions(controller, program)
+    # When the LW is in EX and the ADD in ID, the hazard stalls.
+    assert traces[2]["stall"] == 1
+
+
+def test_no_stall_for_independent(controller):
+    program = [
+        Instruction("LW", rs=1, rt=2),
+        Instruction("ADD", rs=3, rt=4, rd=5),
+        Instruction("ADDI"),
+    ]
+    traces, _ = run_instructions(controller, program)
+    assert traces[2]["stall"] == 0
+
+
+def test_no_stall_when_load_targets_r0(controller):
+    program = [
+        Instruction("LW", rs=1, rt=0),
+        Instruction("ADD", rs=0, rt=3, rd=4),
+        Instruction("ADDI"),
+    ]
+    traces, _ = run_instructions(controller, program)
+    assert traces[2]["stall"] == 0
+
+
+def test_forwarding_selects(controller):
+    program = [
+        Instruction("ADDI", rs=0, rt=1, imm=1),  # writes r1
+        Instruction("ADD", rs=1, rt=2, rd=3),    # rs needs EX/MEM fwd
+        Instruction("ADD", rs=2, rt=1, rd=4),    # rt needs MEM/WB fwd
+        Instruction("ADDI"),
+        Instruction("ADDI"),
+    ]
+    traces, _ = run_instructions(controller, program)
+    # Cycle 3: first ADD in EX, ADDI in MEM -> fwd_a = 1 (EX/MEM).
+    assert traces[3]["fwd_a"] == 1
+    # Cycle 4: second ADD in EX, ADDI in WB -> fwd_b = 2 (MEM/WB).
+    assert traces[4]["fwd_b"] == 2
+
+
+def test_branch_taken_squash(controller):
+    program = [
+        Instruction("BEQZ", rs=1),
+        Instruction("ADDI", rt=2, imm=1),
+        Instruction("ADDI", rt=3, imm=1),
+        Instruction("ADDI", rt=4, imm=1),
+    ]
+    sts = {2: {"zero": 1, "addrlo": 0}}  # branch condition true in EX
+    traces, state = run_instructions(controller, program, sts)
+    assert traces[2]["branch_taken"] == 1
+    assert traces[2]["if_id_clear"] == 1
+    assert traces[2]["id_ex_clear"] == 1
+    # The squashed slots decode as the canonical NOP next cycle.
+    assert traces[3]["op_id"] == SQUASH_OP
+
+
+def test_jump_squashes_next(controller):
+    program = [Instruction("J"), Instruction("ADDI", rt=1, imm=1),
+               Instruction("ADDI", rt=2, imm=2)]
+    traces, _ = run_instructions(controller, program)
+    # J in ID at cycle 1: the incoming ADDI is squashed.
+    assert traces[1]["jump_advancing"] == 1
+    assert traces[2]["op_id"] == SQUASH_OP
+
+
+def test_bytesel_follows_addrlo_status(controller):
+    traces, _ = run_instructions(
+        controller,
+        [Instruction("LB", rt=1), Instruction("ADDI")],
+        {0: {"zero": 0, "addrlo": 3}, 1: {"zero": 0, "addrlo": 3}},
+    )
+    assert traces[1]["bytesel_ctl"] == 3
+
+
+def test_statistics(controller):
+    assert controller.n_stages == 5
+    assert controller.state_bits() > 40
+    stats = controller.search_space_stats()
+    assert stats["cti_bits"] == 6  # stall + branch_taken + 2x 2-bit fwd

@@ -1,0 +1,74 @@
+"""Focused tests for the DLX environment shim (fetch/RF/memory contract)."""
+
+import pytest
+
+from repro.dlx import DlxEnv, DlxSpec, Instruction, build_dlx
+
+
+@pytest.fixture(scope="module")
+def dlx():
+    return build_dlx()
+
+
+def test_memory_initialization_respected(dlx):
+    program = [Instruction("LW", rs=0, rt=1, imm=0x80)]
+    impl = DlxEnv(dlx).run(program, init_memory={0x80: 0x1234})
+    assert ("reg", 1, 0x1234) in impl.events
+
+
+def test_misaligned_word_load_convention(dlx):
+    """Misaligned loads truncate within the word — the documented
+    convention, identical in spec and implementation."""
+    program = [Instruction("LW", rs=0, rt=1, imm=0x82)]
+    memory = {0x80: 0xAABBCCDD}
+    spec = DlxSpec().run(program, init_memory=memory)
+    impl = DlxEnv(dlx).run(program, init_memory=memory)
+    assert impl.events == spec.events
+    assert ("reg", 1, 0x0000AABB) in spec.events
+
+
+def test_store_beyond_word_boundary_truncates(dlx):
+    program = [
+        Instruction("SH", rs=0, rt=1, imm=0x43),  # half at lane 3
+        Instruction("LW", rs=0, rt=2, imm=0x40),
+        Instruction("LW", rs=0, rt=3, imm=0x44),
+    ]
+    init = [0, 0xBEEF] + [0] * 30
+    spec = DlxSpec().run(program, init)
+    impl = DlxEnv(dlx).run(program, init)
+    assert impl.events == spec.events
+    # Only the byte that fits the word is written; the next word untouched.
+    assert ("reg", 2, 0xEF000000) in spec.events
+    assert ("reg", 3, 0) in spec.events
+
+
+def test_r0_reads_stay_zero_after_attempted_write(dlx):
+    program = [
+        Instruction("ADDI", rs=0, rt=0, imm=0xFF),  # write to r0: dropped
+        Instruction("ADDI", rs=0, rt=1, imm=1),     # r1 = r0 + 1
+    ]
+    impl = DlxEnv(dlx).run(program)
+    assert impl.events == [("reg", 1, 1)]
+
+
+def test_long_stall_chain(dlx):
+    """Consecutive load-use pairs each stall once; everything retires."""
+    program = []
+    init_memory = {}
+    for i in range(3):
+        addr = 0x100 + 4 * i
+        init_memory[addr] = i + 1
+        program.append(Instruction("LW", rs=0, rt=1, imm=addr))
+        program.append(Instruction("ADDI", rs=1, rt=2 + i, imm=0))
+    spec = DlxSpec().run(program, init_memory=init_memory)
+    impl = DlxEnv(dlx).run(program, init_memory=init_memory)
+    assert impl.events == spec.events
+    assert ("reg", 4, 3) in spec.events
+
+
+def test_max_cycles_guard(dlx):
+    """The cycle limit prevents runaway loops even with a tiny budget."""
+    program = [Instruction("ADDI", rs=0, rt=1, imm=1)] * 4
+    impl = DlxEnv(dlx).run(program, max_cycles=2)
+    # Truncated run: fewer (or no) events, but no hang or crash.
+    assert len(impl.events) <= 4

@@ -1,0 +1,275 @@
+"""DLX: specification/implementation equivalence and hazard behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlx import (
+    DlxEnv,
+    DlxSpec,
+    Instruction,
+    MNEMONICS,
+    NOP,
+    build_dlx,
+)
+from repro.utils.bits import to_unsigned
+
+
+@pytest.fixture(scope="module")
+def dlx():
+    return build_dlx()
+
+
+def run_both(dlx, program, init_regs=None, init_memory=None):
+    spec = DlxSpec().run(program, init_regs, init_memory)
+    impl = DlxEnv(dlx).run(program, init_regs, init_memory)
+    return spec, impl
+
+
+def check(dlx, program, init_regs=None, init_memory=None):
+    spec, impl = run_both(dlx, program, init_regs, init_memory)
+    assert impl.events == spec.events, (
+        f"impl {impl.events} != spec {spec.events} for "
+        f"{[str(i) for i in program]}"
+    )
+    return spec
+
+
+def test_model_statistics(dlx):
+    stats = dlx.statistics()
+    assert stats["pipeline_stages"] == 5
+    # The pipeframe organization shrinks the justified decision variables,
+    # the paper's 96 -> 43 story on our model's scale.
+    assert stats["pipeframe_justify_bits"] < stats["timeframe_justify_bits"]
+    assert stats["controller_state_bits"] > 40
+
+
+def test_empty_program(dlx):
+    spec = check(dlx, [])
+    assert spec.events == []
+
+
+def test_alu_register_ops(dlx):
+    init = [0] * 32
+    init[1], init[2] = 0xF0F0F0F0, 0x0F0F00FF
+    for op in ("ADD", "ADDU", "SUB", "SUBU", "AND", "OR", "XOR"):
+        check(dlx, [Instruction(op, rs=1, rt=2, rd=3)], init)
+
+
+def test_alu_immediate_ops(dlx):
+    init = [0] * 32
+    init[1] = 1000
+    for op in ("ADDI", "ADDUI", "SUBI", "ANDI", "ORI", "XORI"):
+        check(dlx, [Instruction(op, rs=1, rt=2, imm=0x8001)], init)
+
+
+def test_setcc_ops(dlx):
+    init = [0] * 32
+    init[1], init[2] = to_unsigned(-5, 32), 3
+    for op in ("SEQ", "SNE", "SLT", "SGT", "SLE", "SGE"):
+        check(dlx, [Instruction(op, rs=1, rt=2, rd=3)], init)
+    for op in ("SEQI", "SNEI", "SLTI", "SGTI", "SLEI", "SGEI"):
+        check(dlx, [Instruction(op, rs=1, rt=3, imm=0xFFFB)], init)
+
+
+def test_shift_ops(dlx):
+    init = [0] * 32
+    init[1], init[2] = 0x80000001, 4
+    for op in ("SLL", "SRL", "SRA"):
+        check(dlx, [Instruction(op, rs=1, rt=2, rd=3)], init)
+    for op in ("SLLI", "SRLI", "SRAI"):
+        check(dlx, [Instruction(op, rs=1, rt=3, imm=7)], init)
+
+
+def test_store_then_load_word(dlx):
+    init = [0] * 32
+    init[1], init[2] = 0x100, 0xDEADBEEF
+    program = [
+        Instruction("SW", rs=1, rt=2, imm=4),
+        Instruction("LW", rs=1, rt=3, imm=4),
+    ]
+    spec = check(dlx, program, init)
+    assert ("mem", 0x104, 2, 0xDEADBEEF) in spec.events
+    assert ("reg", 3, 0xDEADBEEF) in spec.events
+
+
+def test_byte_and_half_accesses(dlx):
+    init = [0] * 32
+    init[1], init[2] = 0x200, 0xFFFFABCD
+    program = [
+        Instruction("SW", rs=1, rt=2, imm=0),
+        Instruction("LB", rs=1, rt=3, imm=1),   # byte 1: 0xAB -> sext
+        Instruction("LBU", rs=1, rt=4, imm=1),
+        Instruction("LH", rs=1, rt=5, imm=2),   # half 1: 0xFFFF -> sext
+        Instruction("LHU", rs=1, rt=6, imm=2),
+        Instruction("SB", rs=1, rt=2, imm=5),
+        Instruction("SH", rs=1, rt=2, imm=8),
+    ]
+    check(dlx, program, init)
+
+
+def test_load_use_stall(dlx):
+    init = [0] * 32
+    init[1] = 0x300
+    program = [
+        Instruction("SW", rs=1, rt=1, imm=0),   # mem[0x300] = 0x300
+        Instruction("LW", rs=1, rt=2, imm=0),   # r2 = 0x300
+        Instruction("ADDI", rs=2, rt=3, imm=1),  # load-use: needs stall
+    ]
+    spec = check(dlx, program, init)
+    assert ("reg", 3, 0x301) in spec.events
+
+
+def test_forwarding_distance_one_and_two(dlx):
+    program = [
+        Instruction("ADDI", rs=0, rt=1, imm=5),
+        Instruction("ADDI", rs=1, rt=2, imm=1),  # distance 1
+        Instruction("ADD", rs=1, rt=2, rd=3),    # distance 2 and 1
+        Instruction("ADD", rs=1, rt=3, rd=4),    # distance 3 and 1
+    ]
+    spec = check(dlx, program)
+    assert spec.events == [
+        ("reg", 1, 5), ("reg", 2, 6), ("reg", 3, 11), ("reg", 4, 16),
+    ]
+
+
+def test_store_data_forwarding(dlx):
+    init = [0] * 32
+    init[1] = 0x400
+    program = [
+        Instruction("ADDI", rs=0, rt=2, imm=0x77),
+        Instruction("SW", rs=1, rt=2, imm=0),  # store data needs forwarding
+    ]
+    spec = check(dlx, program, init)
+    assert ("mem", 0x400, 2, 0x77) in spec.events
+
+
+def test_branch_taken_squashes_two(dlx):
+    program = [
+        Instruction("BEQZ", rs=0),               # r0 == 0: taken
+        Instruction("ADDI", rs=0, rt=1, imm=1),  # squashed
+        Instruction("ADDI", rs=0, rt=2, imm=2),  # squashed
+        Instruction("ADDI", rs=0, rt=3, imm=3),  # executes
+    ]
+    spec = check(dlx, program)
+    assert spec.events == [("reg", 3, 3)]
+
+
+def test_branch_not_taken(dlx):
+    init = [0] * 32
+    init[1] = 9
+    program = [
+        Instruction("BEQZ", rs=1),               # 9 != 0: not taken
+        Instruction("ADDI", rs=0, rt=2, imm=2),
+    ]
+    spec = check(dlx, program, init)
+    assert spec.events == [("reg", 2, 2)]
+
+
+def test_bnez(dlx):
+    init = [0] * 32
+    init[1] = 9
+    program = [
+        Instruction("BNEZ", rs=1),               # taken
+        Instruction("ADDI", rs=0, rt=2, imm=2),  # squashed
+        Instruction("ADDI", rs=0, rt=3, imm=3),  # squashed
+        Instruction("ADDI", rs=0, rt=4, imm=4),
+    ]
+    spec = check(dlx, program, init)
+    assert spec.events == [("reg", 4, 4)]
+
+
+def test_branch_on_forwarded_value(dlx):
+    program = [
+        Instruction("ADDI", rs=0, rt=1, imm=0),  # r1 = 0
+        Instruction("BEQZ", rs=1),               # needs bypass: taken
+        Instruction("ADDI", rs=0, rt=2, imm=9),  # squashed
+        Instruction("ADDI", rs=0, rt=3, imm=9),  # squashed
+        Instruction("ADDI", rs=0, rt=4, imm=1),
+    ]
+    spec = check(dlx, program)
+    assert spec.events == [("reg", 1, 0), ("reg", 4, 1)]
+
+
+def test_jump_squashes_one(dlx):
+    program = [
+        Instruction("J"),
+        Instruction("ADDI", rs=0, rt=1, imm=1),  # squashed
+        Instruction("ADDI", rs=0, rt=2, imm=2),
+    ]
+    spec = check(dlx, program)
+    assert spec.events == [("reg", 2, 2)]
+
+
+def test_jal_writes_link(dlx):
+    program = [
+        Instruction("JAL", imm=0x1234),
+        Instruction("ADDI", rs=0, rt=1, imm=1),  # squashed
+        Instruction("ADDI", rs=0, rt=2, imm=2),
+    ]
+    spec = check(dlx, program)
+    assert spec.events == [("reg", 31, 0x1234), ("reg", 2, 2)]
+
+
+def test_jr_squashes_and_stalls(dlx):
+    """JR after a load of its target register: stall then squash."""
+    init = [0] * 32
+    init[1] = 0x500
+    program = [
+        Instruction("SW", rs=1, rt=1, imm=0),
+        Instruction("LW", rs=1, rt=2, imm=0),
+        Instruction("JR", rs=2),                 # load-use on r2
+        Instruction("ADDI", rs=0, rt=3, imm=3),  # squashed
+        Instruction("ADDI", rs=0, rt=4, imm=4),
+    ]
+    spec = check(dlx, program, init)
+    assert ("reg", 4, 4) in spec.events
+    assert ("reg", 3, 3) not in spec.events
+
+
+def test_writes_to_r0_are_dropped(dlx):
+    program = [
+        Instruction("ADDI", rs=0, rt=0, imm=55),  # the canonical NOP shape
+        Instruction("ADD", rs=0, rt=0, rd=0),
+    ]
+    spec = check(dlx, program)
+    assert spec.events == []
+
+
+def test_consecutive_branches(dlx):
+    init = [0] * 32
+    program = [
+        Instruction("BEQZ", rs=0),  # taken: squashes next two
+        Instruction("BEQZ", rs=0),  # squashed
+        Instruction("ADDI", rs=0, rt=1, imm=1),  # squashed
+        Instruction("ADDI", rs=0, rt=2, imm=2),
+    ]
+    spec = check(dlx, program, init)
+    assert spec.events == [("reg", 2, 2)]
+
+
+OPS = list(MNEMONICS.values())
+
+instruction_strategy = st.builds(
+    Instruction,
+    op=st.sampled_from(OPS),
+    rs=st.integers(0, 31),
+    rt=st.integers(0, 31),
+    rd=st.integers(0, 31),
+    imm=st.integers(0, 0xFFFF),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=st.lists(instruction_strategy, max_size=10),
+    seeds=st.lists(st.integers(0, 0xFFFFFFFF), min_size=8, max_size=8),
+)
+def test_spec_impl_equivalence_random(dlx, program, seeds):
+    """The fundamental correctness property of the DLX implementation."""
+    init = [0] * 32
+    for i, seed in enumerate(seeds):
+        init[1 + i] = seed
+    spec = DlxSpec().run(program, init)
+    impl = DlxEnv(dlx).run(program, init)
+    assert impl.events == spec.events

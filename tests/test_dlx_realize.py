@@ -1,0 +1,166 @@
+"""Unit tests for the DLX realizer (TG stimulus -> instruction program)."""
+
+import pytest
+
+from repro.core.tg import TestCase
+from repro.dlx import NOP, build_dlx, to_cpi
+from repro.dlx.isa import Instruction, OPCODES
+from repro.dlx.realize import RealizationError, RealizedDlxTest, realize
+from repro.dlx.spec import DlxSpec
+from repro.dlx.env import DlxEnv
+
+
+@pytest.fixture(scope="module")
+def dlx():
+    return build_dlx()
+
+
+def make_test(n_frames, cpi_overrides, dpi_overrides, decided=()):
+    """Construct a TestCase with NOP defaults plus overrides."""
+    cpi = [dict(to_cpi(NOP)) for _ in range(n_frames)]
+    dpi = [
+        {"rf_a": 0, "rf_b": 0, "imm16": 0, "dmem_rdata": 0}
+        for _ in range(n_frames)
+    ]
+    for frame, fields in cpi_overrides.items():
+        cpi[frame].update(fields)
+    for frame, fields in dpi_overrides.items():
+        dpi[frame].update(fields)
+    return TestCase(
+        n_frames=n_frames,
+        cpi_frames=cpi,
+        dpi_frames=dpi,
+        stimulus_state={},
+        error="synthetic",
+        activation_frame=0,
+        decided_cpi=frozenset(decided),
+    )
+
+
+def replay_matches_spec(dlx, realized: RealizedDlxTest) -> bool:
+    spec = DlxSpec().run(
+        realized.program, realized.init_regs, realized.init_memory
+    )
+    impl = DlxEnv(dlx).run(
+        realized.program, realized.init_regs, realized.init_memory
+    )
+    return impl.events == spec.events
+
+
+def test_nop_stimulus_realizes_to_nops(dlx):
+    test = make_test(6, {}, {})
+    realized = realize(dlx, test)
+    assert len(realized.program) == 6
+    assert all(i == NOP for i in realized.program)
+    assert realized.init_regs == [0] * 32
+    assert realized.init_memory == {}
+
+
+def test_register_read_binds_initial_value(dlx):
+    # An ADD at frame 0 whose operand A must read 0x1234.
+    test = make_test(
+        6,
+        {0: {"op": OPCODES["ADD"], "rd": 3}},
+        {1: {"rf_a": 0x1234, "rf_b": 0x10}},
+        decided=[(0, "op"), (0, "rd")],
+    )
+    realized = realize(dlx, test)
+    instr = realized.program[0]
+    assert instr.op == "ADD"
+    # The free rs/rt specifiers were allocated to registers whose initial
+    # values are now bound.
+    assert realized.init_regs[instr.rs] == 0x1234
+    assert realized.init_regs[instr.rt] == 0x10
+    assert replay_matches_spec(dlx, realized)
+
+
+def test_same_value_reuses_register(dlx):
+    test = make_test(
+        7,
+        {0: {"op": OPCODES["ADD"], "rd": 3},
+         1: {"op": OPCODES["SUB"], "rd": 4}},
+        {1: {"rf_a": 7, "rf_b": 7}, 2: {"rf_a": 7, "rf_b": 9}},
+        decided=[(0, "op"), (0, "rd"), (1, "op"), (1, "rd")],
+    )
+    realized = realize(dlx, test)
+    add, sub = realized.program[0], realized.program[1]
+    # All reads of value 7 can share one register.
+    assert realized.init_regs[add.rs] == 7
+    assert realized.init_regs[sub.rt] == 9
+    assert replay_matches_spec(dlx, realized)
+
+
+def test_decided_specifier_conflict_aborts(dlx):
+    # rs is DECIDED to r5 at both frames but must read two different
+    # values with no intervening write: unrealizable.
+    test = make_test(
+        7,
+        {0: {"op": OPCODES["ADD"], "rs": 5, "rd": 1},
+         1: {"op": OPCODES["ADD"], "rs": 5, "rd": 2}},
+        {1: {"rf_a": 1}, 2: {"rf_a": 2}},
+        decided=[(0, "op"), (0, "rs"), (0, "rd"),
+                 (1, "op"), (1, "rs"), (1, "rd")],
+    )
+    with pytest.raises(RealizationError):
+        realize(dlx, test)
+
+
+def test_immediate_taken_from_id_cycle(dlx):
+    test = make_test(
+        6,
+        {0: {"op": OPCODES["ADDI"], "rt": 2}},
+        {1: {"imm16": 0x00FF}},
+        decided=[(0, "op"), (0, "rt")],
+    )
+    realized = realize(dlx, test)
+    assert realized.program[0].imm == 0x00FF
+    assert replay_matches_spec(dlx, realized)
+
+
+def test_load_word_binds_memory(dlx):
+    test = make_test(
+        7,
+        {0: {"op": OPCODES["LW"], "rt": 2}},
+        {1: {"rf_a": 0x40, "imm16": 0},
+         3: {"dmem_rdata": 0xCAFEBABE}},
+        decided=[(0, "op"), (0, "rt")],
+    )
+    realized = realize(dlx, test)
+    assert realized.init_memory.get(0x40) == 0xCAFEBABE
+    assert replay_matches_spec(dlx, realized)
+
+
+def test_store_then_load_consistency_checked(dlx):
+    # Store 0 to address 0x40 at frame 0; load at frame 2 expecting a
+    # different word from the same address: unrealizable.
+    test = make_test(
+        9,
+        {0: {"op": OPCODES["SW"], "rt": 1},
+         2: {"op": OPCODES["LW"], "rt": 2}},
+        {1: {"rf_a": 0x40, "rf_b": 0, "imm16": 0},
+         3: {"rf_a": 0x40, "imm16": 0},
+         5: {"dmem_rdata": 0x999}},
+        decided=[(0, "op"), (0, "rt"), (2, "op"), (2, "rt")],
+    )
+    with pytest.raises(RealizationError):
+        realize(dlx, test)
+
+
+def test_loads_into_r0_are_dont_care(dlx):
+    # Two loads from the same address wanting different words — but the
+    # first load's destination is r0, so its word is a don't-care.
+    test = make_test(
+        8,
+        {0: {"op": OPCODES["LW"], "rt": 0},
+         1: {"op": OPCODES["LW"], "rt": 2}},
+        {3: {"dmem_rdata": 0x111}, 4: {"dmem_rdata": 0x222}},
+        decided=[(0, "op"), (0, "rt"), (1, "op"), (1, "rt")],
+    )
+    realized = realize(dlx, test)
+    assert realized.init_memory.get(0) == 0x222
+
+
+def test_program_length_matches_frames(dlx):
+    test = make_test(8, {}, {})
+    realized = realize(dlx, test)
+    assert len(realized.program) == 8

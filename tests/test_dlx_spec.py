@@ -1,0 +1,164 @@
+"""Unit tests for the DLX ISA specification simulator and memory model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dlx.isa import Instruction, MNEMONIC_LIST, OPCODES
+from repro.dlx.spec import DlxSpec, Memory
+from repro.utils.bits import mask, to_unsigned
+
+
+def test_isa_has_exactly_44_instructions():
+    assert len(MNEMONIC_LIST) == 44
+    assert len(set(MNEMONIC_LIST)) == 44
+
+
+def test_instruction_validation():
+    with pytest.raises(ValueError):
+        Instruction("FOO")
+    with pytest.raises(ValueError):
+        Instruction("ADD", rs=32)
+    with pytest.raises(ValueError):
+        Instruction("ADDI", imm=1 << 16)
+
+
+def test_instruction_dest():
+    assert Instruction("ADD", rd=5).dest == 5  # R-type: rd
+    assert Instruction("ADDI", rt=7).dest == 7  # I-type: rt
+    assert Instruction("LW", rt=9).dest == 9
+    assert Instruction("JAL").dest == 31
+
+
+def test_instruction_str_forms():
+    assert "ADD" in str(Instruction("ADD", rs=1, rt=2, rd=3))
+    assert str(Instruction("J")) == "J"
+    assert "BEQZ" in str(Instruction("BEQZ", rs=4))
+    assert "(r1)" in str(Instruction("LW", rs=1, rt=2, imm=8))
+
+
+# ---------------------------------------------------------------------------
+# Memory model
+# ---------------------------------------------------------------------------
+def test_memory_word_roundtrip():
+    m = Memory()
+    m.write(0x100, 0xDEADBEEF, 2)  # word
+    assert m.read_word(0x100) == 0xDEADBEEF
+    assert m.read_word(0x102) == 0xDEADBEEF  # aligned read
+
+
+def test_memory_byte_lanes():
+    m = Memory()
+    m.write(0x100, 0xAA, 0)  # byte at lane 0
+    m.write(0x101, 0xBB, 0)  # byte at lane 1
+    assert m.read_word(0x100) == 0xBBAA
+
+
+def test_memory_halfword():
+    m = Memory()
+    m.write(0x102, 0x1234, 1)  # half at lane 2
+    assert m.read_word(0x100) == 0x12340000
+
+
+def test_memory_sub_word_write_preserves_rest():
+    m = Memory()
+    m.write(0x100, 0xFFFFFFFF, 2)
+    m.write(0x101, 0x00, 0)
+    assert m.read_word(0x100) == 0xFFFF00FF
+
+
+def test_memory_load_shifts_to_lane():
+    m = Memory()
+    m.write(0x200, 0x44332211, 2)
+    assert m.load(0x200, 0) & 0xFF == 0x11
+    assert m.load(0x201, 0) & 0xFF == 0x22
+    assert m.load(0x202, 1) & 0xFFFF == 0x4433
+
+
+@given(st.integers(0, mask(32)), st.integers(0, 3), st.integers(0, mask(32)))
+def test_memory_byte_write_read_roundtrip(addr, lane, value):
+    m = Memory()
+    address = (addr & ~0x3) + lane
+    m.write(address, value, 0)
+    assert m.load(address, 0) & 0xFF == value & 0xFF
+
+
+# ---------------------------------------------------------------------------
+# Specification semantics
+# ---------------------------------------------------------------------------
+def test_sign_vs_zero_extended_immediates():
+    spec = DlxSpec()
+    # ADDI sign-extends: 0xFFFF is -1.
+    r = spec.run([Instruction("ADDI", rs=0, rt=1, imm=0xFFFF)])
+    assert r.registers[1] == to_unsigned(-1, 32)
+    # ANDI zero-extends: 0xFFFF stays 0x0000FFFF.
+    r = spec.run(
+        [Instruction("ANDI", rs=1, rt=2, imm=0xFFFF)],
+        init_regs=[0, 0xFFFFFFFF] + [0] * 30,
+    )
+    assert r.registers[2] == 0xFFFF
+
+
+def test_setcc_results_are_0_or_1():
+    init = [0, 5, 9] + [0] * 29
+    spec = DlxSpec()
+    r = spec.run([Instruction("SLT", rs=1, rt=2, rd=3)], init)
+    assert r.registers[3] == 1
+    r = spec.run([Instruction("SGE", rs=1, rt=2, rd=3)], init)
+    assert r.registers[3] == 0
+
+
+def test_shift_amount_masked_to_5_bits():
+    init = [0, 1, 33] + [0] * 29  # 33 & 31 == 1
+    r = DlxSpec().run([Instruction("SLL", rs=1, rt=2, rd=3)], init)
+    assert r.registers[3] == 2
+
+
+def test_branch_skip_two():
+    program = [
+        Instruction("BNEZ", rs=1),
+        Instruction("ADDI", rs=0, rt=2, imm=1),
+        Instruction("ADDI", rs=0, rt=3, imm=1),
+        Instruction("ADDI", rs=0, rt=4, imm=1),
+    ]
+    r = DlxSpec().run(program, [0, 1] + [0] * 30)
+    assert r.registers[2] == 0 and r.registers[3] == 0 and r.registers[4] == 1
+
+
+def test_jump_skip_one_and_jal_link():
+    program = [
+        Instruction("JAL", imm=0x8000),  # link = sign-extended imm
+        Instruction("ADDI", rs=0, rt=2, imm=1),  # skipped
+        Instruction("ADDI", rs=0, rt=3, imm=1),
+    ]
+    r = DlxSpec().run(program)
+    assert r.registers[31] == to_unsigned(-0x8000, 32)
+    assert r.registers[2] == 0 and r.registers[3] == 1
+
+
+def test_r0_always_zero():
+    r = DlxSpec().run([Instruction("ADDI", rs=0, rt=0, imm=99)])
+    assert r.registers[0] == 0
+    assert r.events == []
+
+
+def test_load_event_emitted():
+    r = DlxSpec().run(
+        [Instruction("LW", rs=0, rt=1, imm=0x20)],
+        init_memory={0x20: 0x777},
+    )
+    assert ("load", 0x20, 2) in r.events
+    assert r.registers[1] == 0x777
+
+
+def test_store_event_masked_to_size():
+    r = DlxSpec().run(
+        [Instruction("SB", rs=0, rt=1, imm=0x10)],
+        init_regs=[0, 0xABCD] + [0] * 30,
+    )
+    assert ("mem", 0x10, 0, 0xCD) in r.events
+
+
+def test_init_regs_length_checked():
+    with pytest.raises(ValueError):
+        DlxSpec().run([], init_regs=[0, 1, 2])

@@ -1,0 +1,73 @@
+"""C/O propagation through gated registers (stall/squash routes)."""
+
+import pytest
+
+from repro.core.costates import CState, OState
+from repro.datapath import DatapathBuilder
+from repro.model.pathgraph import DatapathPathAnalyzer
+
+C1, C2, C3, C4 = CState.C1, CState.C2, CState.C3, CState.C4
+O1, O2, O3 = OState.O1, OState.O2, OState.O3
+
+
+def build_gated_pipeline():
+    """x(DPI) -> reg(en, clr) -> +0 -> out(DPO)."""
+    b = DatapathBuilder("gated")
+    b.set_stage(0)
+    x = b.input("x", 8)
+    en = b.ctrl("en", 1)
+    clr = b.ctrl("clr", 1)
+    q = b.register("r", x, enable=en, clear=clr, clear_value=0)
+    b.set_stage(1)
+    b.output("out", b.add("pass", q, b.const("z", 8, 0)))
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return DatapathPathAnalyzer(build_gated_pipeline(), n_frames=3)
+
+
+def test_open_gating_is_unknown(analyzer):
+    states = analyzer.compute({}, {})
+    # With en/clr unknown at frame 0, the frame-1 register is unknown.
+    assert states.net_c[(1, "r.y")] is C1
+
+
+def test_load_route(analyzer):
+    ctrl = {(0, "en"): 1, (0, "clr"): 0}
+    states = analyzer.compute(ctrl, {})
+    assert states.net_c[(1, "r.y")] is C4  # tracks the DPI
+
+
+def test_hold_route(analyzer):
+    ctrl = {(0, "en"): 0, (0, "clr"): 0}
+    states = analyzer.compute(ctrl, {})
+    # Holding keeps the frame-0 reset value: closed, not controllable.
+    assert states.net_c[(1, "r.y")] is C3
+
+
+def test_clear_route(analyzer):
+    ctrl = {(0, "en"): 1, (0, "clr"): 1}
+    states = analyzer.compute(ctrl, {})
+    assert states.net_c[(1, "r.y")] is C3  # squashed to the constant
+
+
+def test_observability_blocked_when_cleared(analyzer):
+    # x@0 is observable through the register only if frame 0 loads.
+    open_states = analyzer.compute({(0, "en"): 1, (0, "clr"): 0}, {})
+    assert open_states.net_o[(0, "x")] is O3
+    blocked = analyzer.compute({(0, "en"): 1, (0, "clr"): 1}, {})
+    assert blocked.net_o[(0, "x")] is O2
+
+
+def test_observability_unknown_when_gating_open(analyzer):
+    states = analyzer.compute({}, {})
+    assert states.net_o[(0, "x")] is O1
+
+
+def test_hold_keeps_old_value_observable(analyzer):
+    # Frame-0 q (reset) is observed at frame 1 out when frame 0 holds.
+    ctrl = {(0, "en"): 0, (0, "clr"): 0}
+    states = analyzer.compute(ctrl, {})
+    assert states.net_o[(0, "r.y")] is O3

@@ -1,0 +1,128 @@
+"""Tests for the synthetic design-error models and enumeration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    BusOrderError,
+    BusSSLError,
+    ModuleSubstitutionError,
+    enumerate_boe,
+    enumerate_bus_ssl,
+    enumerate_mse,
+)
+from repro.utils.bits import mask
+from tests.helpers import build_toy_pipeline
+
+
+def test_bus_ssl_validation():
+    with pytest.raises(ValueError):
+        BusSSLError("n", 0, 2)
+    with pytest.raises(ValueError):
+        BusSSLError("n", -1, 0)
+
+
+@given(st.integers(0, mask(8)), st.integers(0, 7), st.integers(0, 1))
+def test_bus_ssl_corrupt(value, bit, stuck):
+    error = BusSSLError("n", bit, stuck)
+    corrupted = error.corrupt(value)
+    assert (corrupted >> bit) & 1 == stuck
+    # Every other bit is untouched.
+    assert corrupted & ~(1 << bit) == value & ~(1 << bit)
+
+
+def test_bus_ssl_activation_constraint():
+    error = BusSSLError("n", 3, 1)
+    constraint = error.activation_constraint(2)
+    assert constraint.frame == 2
+    assert constraint.satisfied_by(0b0000)  # bit 3 == 0 activates sa1
+    assert not constraint.satisfied_by(0b1000)
+    error0 = BusSSLError("n", 3, 0)
+    constraint0 = error0.activation_constraint(0)
+    assert constraint0.satisfied_by(0b1000)
+
+
+def test_bus_ssl_attach_and_inject():
+    netlist = build_toy_pipeline()
+    error = BusSSLError("alu_add.y", 0, 1)
+    sim = error.attach(netlist)
+    values = sim.evaluate({"a": 2, "b": 2, "alusrc": 0, "op": 0})
+    assert values["alu_add.y"] == 5  # 4 with bit0 stuck at 1
+
+
+def test_bus_ssl_attach_validates():
+    netlist = build_toy_pipeline()
+    with pytest.raises(ValueError):
+        BusSSLError("nonexistent", 0, 0).attach(netlist)
+    with pytest.raises(ValueError):
+        BusSSLError("alu_add.y", 99, 0).attach(netlist)
+
+
+def test_mse_substitutes_function():
+    netlist = build_toy_pipeline()
+    error = ModuleSubstitutionError("alu_add", "AddModule")
+    sim = error.attach(netlist)
+    values = sim.evaluate({"a": 9, "b": 4, "alusrc": 0, "op": 0})
+    assert values["alu_add.y"] == 5  # add became sub
+    assert error.site_net_in(netlist) == "alu_add.y"
+
+
+def test_boe_swaps_inputs():
+    from repro.datapath import DatapathBuilder, DatapathSimulator
+
+    b = DatapathBuilder("sw")
+    x = b.input("x", 8)
+    y = b.input("y", 8)
+    b.output("o", b.sub("s", x, y))
+    netlist = b.build()
+    error = BusOrderError("s")
+    sim = error.attach(netlist)
+    values = sim.evaluate({"x": 10, "y": 3})
+    assert values["o"] == (3 - 10) & 0xFF
+
+
+def test_enumerate_bus_ssl_counts():
+    netlist = build_toy_pipeline()
+    errors = enumerate_bus_ssl(netlist)
+    # Only module-driven, non-constant nets; both polarities per bit.
+    nets = {e.net for e in errors}
+    assert "four.y" not in nets  # constants excluded
+    assert "a" not in nets  # external inputs excluded
+    assert "alu_add.y" in nets
+    by_net = [e for e in errors if e.net == "alu_add.y"]
+    assert len(by_net) == 16  # 8 bits x 2 polarities
+
+
+def test_enumerate_bus_ssl_bit_sampling():
+    netlist = build_toy_pipeline()
+    errors = enumerate_bus_ssl(netlist, max_bits_per_net=4)
+    by_net = [e for e in errors if e.net == "alu_add.y"]
+    # 3 low bits + MSB, both polarities.
+    assert len(by_net) == 8
+    bits = {e.bit for e in by_net}
+    assert bits == {0, 1, 2, 7}
+
+
+def test_enumerate_mse():
+    netlist = build_toy_pipeline()
+    errors = enumerate_mse(netlist)
+    modules = {e.module for e in errors}
+    assert "alu_add" in modules
+    assert "alu_and" in modules  # AND has an OR substitution
+    assert "outmux" not in modules  # no substitution for muxes
+
+
+def test_enumerate_boe_skips_symmetric():
+    netlist = build_toy_pipeline()
+    errors = enumerate_boe(netlist)
+    modules = {e.module for e in errors}
+    assert "alu_add" not in modules  # addition is symmetric
+    assert "ander" not in modules
+
+
+def test_stage_filtered_enumeration():
+    netlist = build_toy_pipeline()
+    stage1 = enumerate_bus_ssl(netlist, stages={1})
+    assert all(netlist.net(e.net).stage == 1 for e in stage1)
+    assert stage1  # write-back stage has nets

@@ -1,0 +1,54 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+The fast examples are executed end-to-end (their asserts are real checks);
+the campaign-sized ones are exercised elsewhere (benchmarks).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "DETECTED" in out
+    assert "Generated instruction sequence" in out
+
+
+def test_error_simulation_runs(capsys):
+    module = load_example("error_simulation")
+    module.main()
+    out = capsys.readouterr().out
+    assert "DETECTED" in out
+    assert "spec writes" in out
+
+
+def test_pipeline_visualization_runs(capsys):
+    module = load_example("pipeline_visualization")
+    module.main()
+    out = capsys.readouterr().out
+    assert "predict-not-taken DLX" in out
+    assert "1-bit branch predictor" in out
+    assert "cycle" in out
+
+
+@pytest.mark.slow
+def test_custom_processor_runs(capsys):
+    module = load_example("custom_processor")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Detected" in out

@@ -1,0 +1,179 @@
+"""MiniPipe: spec/implementation equivalence and hazard behaviour.
+
+The crucial property: for every fault-free program, the pipelined
+implementation's ISA-visible write trace equals the specification's.  This
+validates the whole substrate stack (datapath, controller, co-simulation)
+before any test generation runs on it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mini import (
+    Instruction,
+    MiniEnv,
+    MiniSpec,
+    NOP,
+    build_minipipe,
+)
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def processor():
+    return build_minipipe()
+
+
+def run_both(processor, program, init_regs=None):
+    spec = MiniSpec().run(program, init_regs)
+    impl = MiniEnv(processor).run(program, init_regs)
+    return spec, impl
+
+
+def test_model_validates(processor):
+    stats = processor.statistics()
+    assert stats["pipeline_stages"] == 3
+    assert stats["controller_tertiary_bits"] == 3  # squash, fwd_a, fwd_b
+    assert stats["controller_state_bits"] > stats["controller_tertiary_bits"]
+
+
+def test_empty_program(processor):
+    spec, impl = run_both(processor, [])
+    assert spec.writes == impl.writes == []
+
+
+def test_single_addi(processor):
+    program = [Instruction("ADDI", rs1=0, rd=1, imm=7)]
+    spec, impl = run_both(processor, [*program])
+    assert spec.writes == [(1, 7)]
+    assert impl.writes == spec.writes
+
+
+def test_independent_instructions(processor):
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=5),
+        Instruction("ADDI", rs1=0, rd=2, imm=9),
+        Instruction("ADD", rs1=1, rs2=2, rd=3),
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes[-1] == (3, 14)
+    assert impl.writes == spec.writes
+
+
+def test_forwarding_distance_one(processor):
+    """Back-to-back dependency exercises the bypass path."""
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=5),
+        Instruction("ADDI", rs1=1, rd=2, imm=1),  # needs r1 immediately
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes == [(1, 5), (2, 6)]
+    assert impl.writes == spec.writes
+
+
+def test_forwarding_operand_b(processor):
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=5),
+        Instruction("SUB", rs1=0, rs2=1, rd=2),  # rs2 needs the bypass
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes == [(1, 5), (2, (0 - 5) & 0xFF)]
+    assert impl.writes == spec.writes
+
+
+def test_branch_taken_squashes_next(processor):
+    program = [
+        Instruction("BEQ", rs1=0, rs2=0),  # always taken
+        Instruction("ADDI", rs1=0, rd=1, imm=99),  # must be squashed
+        Instruction("ADDI", rs1=0, rd=2, imm=1),
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes == [(2, 1)]
+    assert impl.writes == spec.writes
+
+
+def test_branch_not_taken(processor):
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=3),
+        Instruction("BEQ", rs1=0, rs2=1),  # 0 != 3: not taken
+        Instruction("ADDI", rs1=0, rd=2, imm=7),
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes == [(1, 3), (2, 7)]
+    assert impl.writes == spec.writes
+
+
+def test_branch_compares_forwarded_value(processor):
+    """The branch in EX must see the just-computed value via the bypass."""
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=0),  # r1 = 0
+        Instruction("BEQ", rs1=1, rs2=0),  # r1 == r0: taken
+        Instruction("ADDI", rs1=0, rd=2, imm=50),  # squashed
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes == [(1, 0)]
+    assert impl.writes == spec.writes
+
+
+def test_initial_registers(processor):
+    program = [Instruction("ADD", rs1=1, rs2=2, rd=3)]
+    spec, impl = run_both(processor, program, init_regs=[0, 10, 20, 0])
+    assert spec.writes == [(3, 30)]
+    assert impl.writes == spec.writes
+
+
+def test_all_alu_operations(processor):
+    init = [0, 0xF0, 0x3C, 0]
+    for op, expected in [
+        ("ADD", (0xF0 + 0x3C) & 0xFF),
+        ("SUB", (0xF0 - 0x3C) & 0xFF),
+        ("AND", 0xF0 & 0x3C),
+        ("XOR", 0xF0 ^ 0x3C),
+    ]:
+        program = [Instruction(op, rs1=1, rs2=2, rd=3)]
+        spec, impl = run_both(processor, program, init)
+        assert spec.writes == [(3, expected)], op
+        assert impl.writes == spec.writes, op
+
+
+def test_subi(processor):
+    program = [Instruction("SUBI", rs1=1, rd=2, imm=5)]
+    spec, impl = run_both(processor, program, init_regs=[0, 3, 0, 0])
+    assert spec.writes == [(2, (3 - 5) & 0xFF)]
+    assert impl.writes == spec.writes
+
+
+instruction_strategy = st.builds(
+    Instruction,
+    op=st.sampled_from(["NOP", "ADD", "SUB", "AND", "XOR", "ADDI", "BEQ", "SUBI"]),
+    rs1=st.integers(0, 3),
+    rs2=st.integers(0, 3),
+    rd=st.integers(0, 3),
+    imm=st.integers(0, 255),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    program=st.lists(instruction_strategy, max_size=8),
+    init_regs=st.lists(st.integers(0, 255), min_size=4, max_size=4),
+)
+def test_spec_impl_equivalence_random(program, init_regs):
+    """The fundamental correctness property of the MiniPipe implementation."""
+    processor = build_minipipe()
+    spec = MiniSpec().run(program, init_regs)
+    impl = MiniEnv(processor).run(program, init_regs)
+    assert impl.writes == spec.writes
+
+
+def test_nop_padding_changes_nothing(processor):
+    program = [
+        Instruction("ADDI", rs1=0, rd=1, imm=5),
+        NOP,
+        NOP,
+        Instruction("ADDI", rs1=1, rd=2, imm=1),
+    ]
+    spec, impl = run_both(processor, program)
+    assert spec.writes == [(1, 5), (2, 6)]
+    assert impl.writes == spec.writes

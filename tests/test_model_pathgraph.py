@@ -1,0 +1,118 @@
+"""Tests for C/O propagation over the unrolled datapath."""
+
+import pytest
+
+from repro.core.costates import CState, OState
+from repro.model.pathgraph import DatapathPathAnalyzer
+from tests.helpers import build_linear_chain, build_toy_pipeline
+
+C1, C2, C3, C4 = CState.C1, CState.C2, CState.C3, CState.C4
+O1, O2, O3 = OState.O1, OState.O2, OState.O3
+
+
+def test_dpi_is_controlled_everywhere():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), n_frames=3)
+    states = analyzer.compute({}, {})
+    for frame in range(3):
+        assert states.net_c[(frame, "a")] is C4
+        assert states.net_c[(frame, "b")] is C4
+
+
+def test_constants_are_determined():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), n_frames=2)
+    states = analyzer.compute({}, {})
+    assert states.net_c[(0, "four.y")] is C3
+
+
+def test_register_reset_is_closed_at_frame0():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), n_frames=2)
+    states = analyzer.compute({}, {})
+    assert states.net_c[(0, "r_exmem.y")] is C3
+
+
+def test_stimulus_register_is_controlled_at_frame0():
+    analyzer = DatapathPathAnalyzer(
+        build_toy_pipeline(), n_frames=2, stimulus_registers={"r_exmem"}
+    )
+    states = analyzer.compute({}, {})
+    assert states.net_c[(0, "r_exmem.y")] is C4
+
+
+def test_mux_output_unknown_until_select_assigned():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), n_frames=1)
+    states = analyzer.compute({}, {})
+    assert states.net_c[(0, "exmux.y")] is C1
+    # a feeds alu_add, alu_and and cmp: fanout stem; with FO open the sum is
+    # reachable but not yet granted.
+    states = analyzer.compute({(0, "op"): 0, (0, "alusrc"): 0}, {})
+    assert states.net_c[(0, "exmux.y")] is C1  # FO vars still open
+    fo = {(0, "a"): 0, (0, "b"): 0}
+    states = analyzer.compute({(0, "op"): 0, (0, "alusrc"): 0}, fo)
+    assert states.net_c[(0, "alu_add.y")] is C4
+    assert states.net_c[(0, "exmux.y")] is C4
+
+
+def test_register_crossing_propagates_c():
+    analyzer = DatapathPathAnalyzer(build_linear_chain(), n_frames=3)
+    states = analyzer.compute({}, {})
+    # x is C4, a1 is ADD with constant side -> C4; register carries it on.
+    assert states.net_c[(0, "a1.y")] is C4
+    assert states.net_c[(1, "r1.y")] is C4
+    assert states.net_c[(2, "r1.y")] is C4
+    # Frame-0 register output is the reset value.
+    assert states.net_c[(0, "r1.y")] is C3
+
+
+def test_chain_observability():
+    analyzer = DatapathPathAnalyzer(build_linear_chain(), n_frames=3)
+    states = analyzer.compute({}, {})
+    # out is a DPO in every frame.
+    for frame in range(3):
+        assert states.net_o[(frame, "out")] is O3
+    # The adder output at frame t is observed through the register at t+1;
+    # at the last frame there is no next frame, so it is unobservable.
+    assert states.net_o[(0, "a1.y")] is O3
+    assert states.net_o[(1, "a1.y")] is O3
+    assert states.net_o[(2, "a1.y")] is O2
+
+
+def test_mux_blocks_observation_of_deselected_input():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), n_frames=2)
+    # wbsel=1 selects the c input, so the register output is unobservable.
+    ctrl = {(0, "wbsel"): 1, (1, "wbsel"): 1}
+    states = analyzer.compute(ctrl, {})
+    assert states.net_o[(1, "r_exmem.y")] is O2
+    # wbsel=0 selects the register: observable.
+    ctrl = {(0, "wbsel"): 0, (1, "wbsel"): 0}
+    states = analyzer.compute(ctrl, {})
+    assert states.net_o[(1, "r_exmem.y")] is O3
+
+
+def test_sts_sinks_are_not_observation_points():
+    analyzer = DatapathPathAnalyzer(build_toy_pipeline(), n_frames=1)
+    states = analyzer.compute({(0, "wbsel"): 1}, {})
+    # cmp.y only feeds the STS net; with wbmux deselecting the register the
+    # whole execute cone is unobservable in a 1-frame window.
+    assert states.net_o[(0, "eq")] is O2
+
+
+def test_fanout_branch_gating():
+    netlist = build_toy_pipeline()
+    analyzer = DatapathPathAnalyzer(netlist, n_frames=1)
+    # Grant stem 'a' to the adder branch (find its index first).
+    a_net = netlist.net("a")
+    adder_port = next(
+        p for p in a_net.sinks if p.module.name == "alu_add"
+    )
+    index = a_net.sinks.index(adder_port)
+    fo = {(0, "a"): index, (0, "b"): 0}
+    ctrl = {(0, "alusrc"): 0, (0, "op"): 0}
+    states = analyzer.compute(ctrl, fo)
+    assert states.port_c[(0, "alu_add.a")] is C4
+    # The deselected branch (cmp.a) is blocked while the choice stands.
+    assert states.port_c[(0, "cmp.a")] is C2
+
+
+def test_invalid_frames_rejected():
+    with pytest.raises(ValueError):
+        DatapathPathAnalyzer(build_toy_pipeline(), n_frames=0)

@@ -1,0 +1,103 @@
+"""Tests for the Processor glue model and its validation."""
+
+import pytest
+
+from repro.controller import (
+    BufNode,
+    PipelinedController,
+    SignalKind,
+    bit_signal,
+    field_signal,
+)
+from repro.datapath import DatapathBuilder
+from repro.model.processor import Processor, ProcessorModelError
+
+
+def tiny_controller(ctrl_domain=(0, 1)):
+    ctl = PipelinedController("tc", 1)
+    ctl.add_signal(bit_signal("go", SignalKind.CPI, stage=0))
+    ctl.add_signal(field_signal("sel", ctrl_domain, SignalKind.CTRL, stage=0))
+    ctl.drive("sel", BufNode("go"))
+    ctl.validate()
+    return ctl
+
+
+def tiny_datapath(sel_width=1):
+    b = DatapathBuilder("td")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    sel = b.ctrl("sel", sel_width)
+    b.output("o", b.mux("m", sel, a, c))
+    return b.build()
+
+
+def test_valid_processor():
+    p = Processor("p", tiny_datapath(), tiny_controller(), 1)
+    p.validate()
+    stats = p.statistics()
+    assert stats["datapath_modules"] == 1
+    assert stats["controller_state_bits"] == 0
+
+
+def test_missing_ctrl_net_rejected():
+    ctl = PipelinedController("tc", 1)
+    ctl.add_signal(bit_signal("go", SignalKind.CPI))
+    ctl.add_signal(bit_signal("unknown_ctrl", SignalKind.CTRL))
+    ctl.drive("unknown_ctrl", BufNode("go"))
+    ctl.validate()
+    p = Processor("p", tiny_datapath(), ctl, 1)
+    with pytest.raises(ProcessorModelError):
+        p.validate()
+
+
+def test_ctrl_domain_width_mismatch_rejected():
+    # Controller drives values up to 3 into a 1-bit datapath net.
+    p = Processor("p", tiny_datapath(sel_width=1),
+                  tiny_controller(ctrl_domain=(0, 1, 2, 3)), 1)
+    with pytest.raises(ProcessorModelError):
+        p.validate()
+
+
+def test_missing_sts_net_rejected():
+    ctl = PipelinedController("tc", 1)
+    ctl.add_signal(bit_signal("go", SignalKind.CPI))
+    ctl.add_signal(bit_signal("sel", SignalKind.CTRL))
+    ctl.add_signal(bit_signal("missing_sts", SignalKind.STS))
+    ctl.drive("sel", BufNode("go"))
+    ctl.validate()
+    p = Processor("p", tiny_datapath(), ctl, 1)
+    with pytest.raises(ProcessorModelError):
+        p.validate()
+
+
+def test_bad_cpi_binding_rejected():
+    p = Processor(
+        "p", tiny_datapath(), tiny_controller(), 1,
+        cpi_dpi_bindings={"go": "nonexistent"},
+    )
+    with pytest.raises(ProcessorModelError):
+        p.validate()
+
+
+def test_bad_stimulus_register_rejected():
+    p = Processor(
+        "p", tiny_datapath(), tiny_controller(), 1,
+        stimulus_registers=frozenset({"nope"}),
+    )
+    with pytest.raises(ProcessorModelError):
+        p.validate()
+
+
+def test_dlx_statistics_shape():
+    """The Section VI model statistics: the pipeframe organization must
+    shrink both decision and justification variable counts."""
+    from repro.dlx import build_dlx
+
+    stats = build_dlx().statistics()
+    assert stats["pipeframe_decision_bits"] < stats["timeframe_decision_bits"]
+    assert stats["pipeframe_justify_bits"] < stats["timeframe_justify_bits"]
+    # Shape of the paper's DLX: hundreds of datapath state bits, tens of
+    # controller state bits, far fewer tertiary bits.
+    assert stats["datapath_state_bits"] >= 128
+    assert stats["controller_state_bits"] >= 40
+    assert stats["controller_tertiary_bits"] <= 10

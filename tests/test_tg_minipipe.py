@@ -1,0 +1,86 @@
+"""Integration: the full TG algorithm on the MiniPipe processor.
+
+These tests exercise the complete Figure-3/Figure-4 loop: DPTRACE path
+selection, CTRLJUST justification in the unrolled controller, DPRELAX value
+selection, exposure by co-simulation, and realization as an instruction
+program checked against the ISA specification.
+"""
+
+import pytest
+
+from repro.core.tg import TestGenerator, TGStatus
+from repro.errors import BusSSLError, enumerate_bus_ssl
+from repro.mini import build_minipipe, detects
+from repro.mini.realize import RealizationError, realize
+
+
+@pytest.fixture(scope="module")
+def processor():
+    return build_minipipe()
+
+
+@pytest.fixture(scope="module")
+def generator(processor):
+    return TestGenerator(processor)
+
+
+def test_ssl_on_alu_output_detected(processor, generator):
+    error = BusSSLError("alu_mux.y", 0, 0)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+    assert result.test is not None
+    # The co-simulation observed a divergence at a DPO.
+    assert result.test.observation is not None
+
+
+def test_ssl_stuck_at_1_detected(processor, generator):
+    error = BusSSLError("alu_add.y", 3, 1)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+
+
+def test_ssl_on_writeback_register_output(processor, generator):
+    error = BusSSLError("wb_res.y", 7, 0)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+
+
+def test_ssl_on_operand_mux(processor, generator):
+    error = BusSSLError("opa_mux.y", 2, 1)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+
+
+def test_generated_test_realizes_and_detects_at_isa_level(
+    processor, generator
+):
+    error = BusSSLError("alu_mux.y", 4, 0)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+    realized = realize(result.test)
+    assert detects(processor, realized.program, error, realized.init_regs)
+
+
+def test_campaign_over_execute_stage(processor):
+    """A mini Table-1: all SSL errors on the ALU result mux bus."""
+    generator = TestGenerator(processor)
+    errors = [BusSSLError("alu_mux.y", bit, stuck)
+              for bit in range(8) for stuck in (0, 1)]
+    detected = 0
+    for error in errors:
+        result = generator.generate(error)
+        if result.status is TGStatus.DETECTED:
+            detected += 1
+    assert detected == len(errors)
+
+
+def test_enumerate_bus_ssl_stage_filter(processor):
+    errors = enumerate_bus_ssl(processor.datapath, stages={1, 2})
+    nets = {e.net for e in errors}
+    assert "alu_mux.y" in nets
+    assert "out" in nets
+    # Stage-0 nets are excluded.
+    assert all("ex_a" not in n or n == "ex_a.y" for n in nets)
+    # Both polarities for every bit.
+    alu_errors = [e for e in errors if e.net == "alu_mux.y"]
+    assert len(alu_errors) == 16

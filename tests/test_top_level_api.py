@@ -1,0 +1,45 @@
+"""The public API surface: everything advertised in __all__ exists and the
+documented quickstart flows run."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_all_names_resolve():
+    import repro.analysis
+    import repro.baselines
+    import repro.campaign
+    import repro.controller
+    import repro.core
+    import repro.datapath
+    import repro.dlx
+    import repro.errors
+    import repro.mini
+    import repro.model
+    import repro.verify
+
+    for module in (
+        repro.analysis, repro.baselines, repro.campaign, repro.controller,
+        repro.core, repro.datapath, repro.dlx, repro.errors, repro.mini,
+        repro.model, repro.verify,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_module_docstring_quickstart():
+    """The quickstart in the package docstring must actually work."""
+    from repro import BusSSLError, TestGenerator, build_dlx
+
+    dlx = build_dlx()
+    tg = TestGenerator(dlx)
+    result = tg.generate(BusSSLError("alu_add.y", 0, 0))
+    assert result.status.value == "detected"
+
+
+def test_version():
+    assert repro.__version__

@@ -1,0 +1,121 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    add_overflows,
+    bit,
+    bits_of,
+    from_bits,
+    mask,
+    popcount,
+    sign_extend,
+    sub_overflows,
+    to_signed,
+    to_unsigned,
+)
+
+
+def test_mask_small_widths():
+    assert mask(1) == 1
+    assert mask(4) == 0xF
+    assert mask(32) == 0xFFFFFFFF
+
+
+def test_mask_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        mask(0)
+    with pytest.raises(ValueError):
+        mask(-3)
+
+
+def test_to_unsigned_wraps():
+    assert to_unsigned(-1, 8) == 0xFF
+    assert to_unsigned(256, 8) == 0
+    assert to_unsigned(257, 8) == 1
+
+
+def test_to_signed_basic():
+    assert to_signed(0xFF, 8) == -1
+    assert to_signed(0x7F, 8) == 127
+    assert to_signed(0x80, 8) == -128
+    assert to_signed(0, 8) == 0
+
+
+def test_sign_extend():
+    assert sign_extend(0xF, 4, 8) == 0xFF
+    assert sign_extend(0x7, 4, 8) == 0x07
+    assert sign_extend(0x8000, 16, 32) == 0xFFFF8000
+
+
+def test_sign_extend_rejects_narrowing():
+    with pytest.raises(ValueError):
+        sign_extend(0, 8, 4)
+
+
+def test_bit_and_bits_of():
+    assert bit(0b1010, 0) == 0
+    assert bit(0b1010, 1) == 1
+    assert bits_of(0b1010, 4) == [0, 1, 0, 1]
+
+
+def test_from_bits_roundtrip():
+    assert from_bits([0, 1, 0, 1]) == 0b1010
+
+
+def test_from_bits_rejects_non_binary():
+    with pytest.raises(ValueError):
+        from_bits([0, 2])
+
+
+def test_add_overflow_cases():
+    assert add_overflows(0x7F, 1, 8)  # 127 + 1
+    assert not add_overflows(0x7E, 1, 8)
+    assert add_overflows(0x80, 0xFF, 8)  # -128 + -1
+    assert not add_overflows(0x80, 0, 8)
+
+
+def test_sub_overflow_cases():
+    assert sub_overflows(0x80, 1, 8)  # -128 - 1
+    assert not sub_overflows(0x80, 0, 8)
+    assert sub_overflows(0x7F, 0xFF, 8)  # 127 - (-1)
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    with pytest.raises(ValueError):
+        popcount(-1)
+
+
+@given(st.integers(min_value=-(1 << 40), max_value=1 << 40), st.integers(1, 64))
+def test_signed_unsigned_roundtrip(value, width):
+    unsigned = to_unsigned(value, width)
+    assert 0 <= unsigned <= mask(width)
+    assert to_unsigned(to_signed(unsigned, width), width) == unsigned
+
+
+@given(st.integers(0, mask(16)), st.integers(1, 16), st.integers(0, 16))
+def test_sign_extend_preserves_signed_value(value, from_width, extra):
+    value = to_unsigned(value, from_width)
+    extended = sign_extend(value, from_width, from_width + extra)
+    assert to_signed(extended, from_width + extra) == to_signed(value, from_width)
+
+
+@given(st.integers(0, mask(32)))
+def test_bits_roundtrip(value):
+    assert from_bits(bits_of(value, 32)) == value
+
+
+@given(st.integers(0, mask(12)), st.integers(0, mask(12)))
+def test_add_overflow_matches_definition(a, b):
+    total = to_signed(a, 12) + to_signed(b, 12)
+    assert add_overflows(a, b, 12) == (total < -2048 or total > 2047)
+
+
+@given(st.integers(0, mask(12)), st.integers(0, mask(12)))
+def test_sub_overflow_matches_definition(a, b):
+    total = to_signed(a, 12) - to_signed(b, 12)
+    assert sub_overflows(a, b, 12) == (total < -2048 or total > 2047)

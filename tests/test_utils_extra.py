@@ -1,0 +1,28 @@
+"""Extra coverage for utilities used across the substrates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bit, bits_of, from_bits, mask, popcount, to_unsigned
+
+
+@given(st.integers(0, mask(32)), st.integers(0, 31))
+def test_bit_matches_bits_of(value, index):
+    assert bit(value, index) == bits_of(value, 32)[index]
+
+
+@given(st.integers(0, mask(24)))
+def test_popcount_matches_bits(value):
+    assert popcount(value) == sum(bits_of(value, 24))
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=24))
+def test_from_bits_inverse(bits):
+    value = from_bits(bits)
+    assert bits_of(value, len(bits)) == bits
+
+
+@given(st.integers(-(1 << 40), 1 << 40), st.integers(1, 48))
+def test_to_unsigned_idempotent(value, width):
+    once = to_unsigned(value, width)
+    assert to_unsigned(once, width) == once
