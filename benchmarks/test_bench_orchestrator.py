@@ -1,0 +1,63 @@
+"""Orchestration scaling: 1-vs-N-worker wall clock on a sampled error list.
+
+Error-targeted TG is embarrassingly parallel per error, so sharding the
+Table-1 campaign across a worker pool should cut wall-clock time roughly
+by the worker count (minus pool startup: every worker rebuilds the DLX
+model once).  This benchmark runs the same sampled DLX error list through
+``jobs=1`` and ``jobs=N`` and prints the speedup; the outcome counts must
+be identical, because each error's TG run is independent of sharding.
+
+``REPRO_FULL=1`` widens the sample.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import full_run
+
+from repro.campaign.orchestrator import CampaignOrchestrator, OrchestratorConfig
+
+
+def _run(jobs: int, errors):
+    orchestrator = CampaignOrchestrator(
+        OrchestratorConfig(target="dlx", jobs=jobs, deadline_seconds=20.0)
+    )
+    start = time.monotonic()
+    report = orchestrator.run(errors)
+    return report, time.monotonic() - start
+
+
+def test_orchestrator_scaling(benchmark):
+    from repro.campaign import DlxCampaign
+
+    sample = 12 if full_run() else 36
+    errors = DlxCampaign().default_errors(max_bits_per_net=4)[::sample]
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial_report, serial_seconds = _run(1, errors)
+    (parallel_report, parallel_seconds), = (
+        benchmark.pedantic(_run, args=(jobs, errors), rounds=1, iterations=1),
+    )
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print()
+    print(f"orchestrator scaling on {len(errors)} sampled DLX errors:")
+    print(f"  jobs=1      {serial_seconds:7.1f} s wall "
+          f"({serial_report.n_detected} detected, "
+          f"{serial_report.n_aborted} aborted)")
+    print(f"  jobs={jobs}      {parallel_seconds:7.1f} s wall "
+          f"({parallel_report.n_detected} detected, "
+          f"{parallel_report.n_aborted} aborted)")
+    print(f"  speedup     {speedup:7.2f}x")
+
+    # Sharding must not change what the campaign finds.
+    assert parallel_report.n_detected == serial_report.n_detected
+    assert parallel_report.n_aborted == serial_report.n_aborted
+    assert sorted(o.error for o in parallel_report.outcomes) == sorted(
+        o.error for o in serial_report.outcomes
+    )
+    if jobs > 1:
+        # Loose bound: parallel must not be slower than serial (pool
+        # startup rebuilds the processor per worker, so the ideal jobs-x
+        # speedup is only approached on longer campaigns).
+        assert parallel_seconds < serial_seconds * 1.05

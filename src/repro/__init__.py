@@ -19,7 +19,13 @@ Quick start::
     assert result.status.value == "detected"
 """
 
-from repro.campaign import CampaignReport, DlxCampaign, MiniCampaign
+from repro.campaign import (
+    CampaignOrchestrator,
+    CampaignReport,
+    DlxCampaign,
+    MiniCampaign,
+    OrchestratorConfig,
+)
 from repro.core.tg import TestCase, TestGenerator, TGResult, TGStatus
 from repro.datapath import DatapathBuilder, DatapathSimulator, Netlist
 from repro.dlx import build_dlx
@@ -40,6 +46,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BusOrderError",
     "BusSSLError",
+    "CampaignOrchestrator",
     "CampaignReport",
     "DatapathBuilder",
     "DatapathSimulator",
@@ -47,6 +54,7 @@ __all__ = [
     "MiniCampaign",
     "ModuleSubstitutionError",
     "Netlist",
+    "OrchestratorConfig",
     "Processor",
     "ProcessorSimulator",
     "TGResult",

@@ -3,10 +3,26 @@
 Commands:
 
 * ``stats``                     — print the DLX model statistics
-* ``table1 [--sample N] [--dropping]``
-                                — run the Table-1 campaign (1-in-N sample)
+* ``table1 [--sample N] [--dropping] [--jobs N] [--checkpoint PATH]
+  [--resume] [--json OUT]``     — run the Table-1 campaign (1-in-N sample)
 * ``generate NET BIT STUCK``    — generate a test for one bus SSL error
-* ``minipipe``                  — run the MiniPipe campaign
+* ``minipipe [--sample N] [--dropping] [--jobs N] [--checkpoint PATH]
+  [--resume] [--json OUT]``     — run the MiniPipe campaign
+
+Campaign flags (``table1`` and ``minipipe``):
+
+* ``--jobs N``        shard the error list across N worker processes
+  (default 1 = the classic serial loop, in-process)
+* ``--checkpoint PATH``  append one JSONL record per completed error so a
+  killed run can be resumed
+* ``--resume``        skip errors already present in ``--checkpoint``
+* ``--json OUT``      write a machine-readable run report (config, per-
+  error outcomes, structured event stream) — atomically
+* ``--dropping``      error simulation / fault dropping (composes with
+  ``--jobs``: finished tests drop errors from the undispatched tail)
+
+Live per-error progress is rendered on stderr; stdout carries the Table-1
+summary.
 """
 
 from __future__ import annotations
@@ -25,22 +41,77 @@ def cmd_stats(_args) -> int:
     return 0
 
 
-def cmd_table1(args) -> int:
-    from repro.campaign import DlxCampaign
+def _run_campaign_command(args, target: str, title: str | None) -> int:
+    from repro.campaign.events import EventLog, EventStream, ProgressRenderer
+    from repro.campaign.orchestrator import (
+        CampaignOrchestrator,
+        OrchestratorConfig,
+        campaign_run_to_dict,
+    )
 
-    campaign = DlxCampaign(deadline_seconds=args.deadline)
-    errors = campaign.default_errors(max_bits_per_net=4)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.resume:
+        from repro.campaign.checkpoint import CampaignCheckpoint
+
+        try:
+            CampaignCheckpoint.load(args.checkpoint)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    config = OrchestratorConfig(
+        target=target,
+        jobs=args.jobs,
+        deadline_seconds=args.deadline,
+        error_simulation=args.dropping,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    events.subscribe(ProgressRenderer(sys.stderr))
+    orchestrator = CampaignOrchestrator(config, events=events)
+
+    errors = orchestrator.default_errors(
+        **({"max_bits_per_net": 4} if target == "dlx" else {})
+    )
     if args.sample > 1:
         errors = errors[:: args.sample]
     print(f"Running {len(errors)} bus SSL errors "
-          f"(deadline {args.deadline:.0f}s/error, "
+          f"(deadline {args.deadline:.0f}s/error, {args.jobs} job(s), "
           f"error simulation {'on' if args.dropping else 'off'}) ...")
-    report = campaign.run(errors, error_simulation=args.dropping)
-    print(report.table1())
+    report = orchestrator.run(errors)
+    print(report.table1(title) if title else report.table1())
     if args.dropping:
         dropped = sum(1 for o in report.outcomes if o.dropped_by)
         print(f"(fault dropping skipped TG for {dropped} errors)")
+    if args.json:
+        from repro.campaign.serialize import save_json
+
+        try:
+            save_json(
+                campaign_run_to_dict(config, report, log.events), args.json
+            )
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote JSON run report to {args.json}")
     return 0
+
+
+def cmd_table1(args) -> int:
+    return _run_campaign_command(args, target="dlx", title=None)
+
+
+def cmd_minipipe(args) -> int:
+    return _run_campaign_command(
+        args, target="mini", title="MiniPipe bus SSL campaign"
+    )
 
 
 def cmd_generate(args) -> int:
@@ -80,15 +151,17 @@ def cmd_generate(args) -> int:
     return 0 if ok else 1
 
 
-def cmd_minipipe(args) -> int:
-    from repro.campaign import MiniCampaign
-
-    campaign = MiniCampaign(deadline_seconds=args.deadline)
-    errors = campaign.default_errors()
-    print(f"Running all {len(errors)} MiniPipe bus SSL errors ...")
-    report = campaign.run(errors)
-    print(report.table1("MiniPipe bus SSL campaign"))
-    return 0
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dropping", action="store_true",
+                        help="enable error simulation / fault dropping")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="append per-error JSONL records to PATH")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip errors already in --checkpoint")
+    parser.add_argument("--json", metavar="OUT", default=None,
+                        help="write a machine-readable run report to OUT")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,8 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     p_table1.add_argument("--sample", type=int, default=6,
                           help="run every Nth error (default 6; 1 = all)")
     p_table1.add_argument("--deadline", type=float, default=20.0)
-    p_table1.add_argument("--dropping", action="store_true",
-                          help="enable error simulation / fault dropping")
+    _add_campaign_flags(p_table1)
 
     p_gen = sub.add_parser("generate", help="target one bus SSL error")
     p_gen.add_argument("net", help="datapath net name, e.g. alu_add.y")
@@ -111,7 +183,10 @@ def main(argv: list[str] | None = None) -> int:
     p_gen.add_argument("--deadline", type=float, default=30.0)
 
     p_mini = sub.add_parser("minipipe", help="run the MiniPipe campaign")
+    p_mini.add_argument("--sample", type=int, default=1,
+                        help="run every Nth error (default 1 = all)")
     p_mini.add_argument("--deadline", type=float, default=10.0)
+    _add_campaign_flags(p_mini)
 
     args = parser.parse_args(argv)
     handler = {

@@ -1,0 +1,141 @@
+"""Structured campaign event stream.
+
+A long campaign run is observable through a stream of typed events rather
+than ad-hoc prints: the orchestrator emits one event per lifecycle step and
+any number of subscribers consume them — a live progress renderer for
+humans, an :class:`EventLog` for the machine-readable ``--json`` report,
+test assertions, or anything else.
+
+Event kinds and their payload fields (all payloads also carry the emission
+wall-clock time):
+
+``campaign-started``
+    ``target``, ``n_errors``, ``jobs``, ``error_simulation``, ``resumed``
+    (errors skipped because a resumed checkpoint already holds them).
+``error-started``
+    ``error``, ``index`` (position in the submitted error list).
+``error-finished``
+    ``error``, ``index``, ``detected``, ``failure_stage``, ``test_length``,
+    ``backtracks``, ``final_backtracks``, ``attempts``, ``seconds``.
+``test-dropped-others``
+    ``error`` (whose test was simulated), ``dropped`` (list of error
+    descriptions removed from the work list), ``seconds``.
+``checkpoint-written``
+    ``path``, ``records`` (total records in the file), ``error``.
+``campaign-finished``
+    ``n_errors``, ``n_detected``, ``n_aborted``, ``backtracks``,
+    ``wall_seconds``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+EVENT_KINDS = frozenset({
+    "campaign-started",
+    "error-started",
+    "error-finished",
+    "test-dropped-others",
+    "checkpoint-written",
+    "campaign-finished",
+})
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One structured event: a kind, a wall-clock stamp, and a payload."""
+
+    kind: str
+    wall_time: float
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "wall_time": self.wall_time,
+            "data": dict(self.data),
+        }
+
+
+class EventStream:
+    """Fan-out of campaign events to registered subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[CampaignEvent], None]] = []
+
+    def subscribe(
+        self, subscriber: Callable[[CampaignEvent], None]
+    ) -> Callable[[CampaignEvent], None]:
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def emit(self, kind: str, **data: Any) -> CampaignEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = CampaignEvent(kind=kind, wall_time=time.time(), data=data)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+
+class EventLog:
+    """Subscriber that records every event (for the ``--json`` report)."""
+
+    def __init__(self) -> None:
+        self.events: list[CampaignEvent] = []
+
+    def __call__(self, event: CampaignEvent) -> None:
+        self.events.append(event)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self.events]
+
+    def of_kind(self, kind: str) -> list[CampaignEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class ProgressRenderer:
+    """Subscriber that renders a live one-line-per-error progress feed."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+
+    def _line(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def __call__(self, event: CampaignEvent) -> None:
+        data = event.data
+        if event.kind == "campaign-started":
+            self._total = data["n_errors"]
+            self._done = data.get("resumed", 0)
+            bits = [f"{self._total} errors", f"{data['jobs']} worker(s)"]
+            if data.get("error_simulation"):
+                bits.append("error simulation on")
+            if self._done:
+                bits.append(f"{self._done} resumed from checkpoint")
+            self._line(f"campaign[{data['target']}] started: "
+                       + ", ".join(bits))
+        elif event.kind == "error-finished":
+            self._done += 1
+            if data["detected"]:
+                status = (f"detected (len {data['test_length']}, "
+                          f"{data['final_backtracks']} backtracks)")
+            else:
+                status = f"aborted ({data['failure_stage']})"
+            self._line(f"[{self._done:>4}/{self._total}] {data['error']}: "
+                       f"{status} in {data['seconds']:.1f}s")
+        elif event.kind == "test-dropped-others":
+            dropped = data["dropped"]
+            self._done += len(dropped)
+            self._line(f"[{self._done:>4}/{self._total}] dropped "
+                       f"{len(dropped)} error(s) with the test for "
+                       f"{data['error']}")
+        elif event.kind == "campaign-finished":
+            self._line(f"campaign finished: {data['n_detected']} detected, "
+                       f"{data['n_aborted']} aborted "
+                       f"in {data['wall_seconds']:.1f}s wall clock")

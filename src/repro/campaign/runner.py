@@ -5,13 +5,18 @@ a test, the test realizes as an instruction program, and the program
 distinguishes the erroneous implementation from the ISA specification by
 co-simulation.  Everything else is **aborted** — the same accounting as the
 paper's Table 1.
+
+The drivers here are single-process; :mod:`repro.campaign.orchestrator`
+shards the same campaigns across a worker pool.  Both paths funnel through
+:func:`run_serial_campaign`, so ``jobs=1`` orchestration is the very loop
+``DlxCampaign.run`` has always executed.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.tg import TestGenerator, TGStatus
 from repro.errors.models import DesignError
@@ -30,7 +35,7 @@ class ErrorOutcome:
     final_backtracks: int = 0
     attempts: int = 0
     seconds: float = 0.0
-    failure_stage: str = ""  # "", "tg", "realize", "isa-check"
+    failure_stage: str = ""  # "", "tg", "realize", "isa-check", "worker"
     #: Set when error simulation (fault dropping) detected this error with
     #: a test generated for another error, skipping TG entirely.
     dropped_by: str = ""
@@ -98,7 +103,127 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-class DlxCampaign:
+class CampaignBase:
+    """Shared campaign machinery over a concrete test vehicle.
+
+    Subclasses provide the per-error pipeline (:meth:`_run_error_with_test`)
+    plus the handful of vehicle-specific hooks the shared loop and the
+    orchestrator need: re-checking a realized test against another error
+    (fault dropping) and (de)serializing realized tests so they can cross a
+    process boundary or land in a checkpoint.
+    """
+
+    processor: Processor
+    generator: TestGenerator
+
+    def default_errors(self, **kwargs) -> list[DesignError]:
+        raise NotImplementedError
+
+    def _run_error_with_test(self, error: DesignError):
+        """Run TG + realization + ISA check; return ``(outcome, realized)``
+        where ``realized`` is the realized test when detected, else None."""
+        raise NotImplementedError
+
+    def detects_realized(self, realized, error: DesignError) -> bool:
+        """Does an already-realized test also detect ``error``?"""
+        raise NotImplementedError
+
+    def nontrivial_count(self, program) -> int:
+        """Instructions in ``program`` other than NOP."""
+        raise NotImplementedError
+
+    def serialize_realized(self, realized) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def deserialize_realized(self, data: dict[str, Any]):
+        raise NotImplementedError
+
+    def run_error(self, error: DesignError) -> ErrorOutcome:
+        outcome, _ = self._run_error_with_test(error)
+        return outcome
+
+    def dropped_outcome(self, other: DesignError, realized,
+                        dropper: str) -> ErrorOutcome:
+        """The record for an error detected by another error's test."""
+        return ErrorOutcome(
+            error=other.describe(),
+            detected=True,
+            test_length=len(realized.program),
+            nontrivial_instructions=self.nontrivial_count(realized.program),
+            dropped_by=dropper,
+        )
+
+    def run(
+        self,
+        errors: Sequence[DesignError],
+        error_simulation: bool = False,
+    ) -> CampaignReport:
+        """Run the campaign.
+
+        With ``error_simulation`` enabled (the paper's stated future
+        improvement: "no error simulation was used in this preliminary
+        implementation"), every test that detects its target error is also
+        simulated against the remaining errors, and the ones it detects are
+        dropped from the TG work list.
+        """
+        report = CampaignReport()
+        start = time.monotonic()
+        run_serial_campaign(
+            self, list(errors), report, error_simulation=error_simulation
+        )
+        report.total_seconds = time.monotonic() - start
+        return report
+
+
+def run_serial_campaign(
+    campaign: CampaignBase,
+    remaining: list[DesignError],
+    report: CampaignReport,
+    error_simulation: bool = False,
+    on_started: Callable[[DesignError], None] | None = None,
+    on_finished: Callable[[ErrorOutcome, Any], None] | None = None,
+    on_dropped: Callable[[ErrorOutcome, list[ErrorOutcome], float], None]
+    | None = None,
+) -> None:
+    """The serial campaign loop, appending outcomes to ``report``.
+
+    ``remaining`` is consumed in place (fault dropping removes errors that
+    an earlier test already detects).  The optional callbacks let the
+    orchestrator attach event emission and checkpointing without forking
+    the control flow: ``on_finished(outcome, realized)`` fires once the
+    outcome is final (dropping time folded in), ``on_dropped(outcome,
+    dropped, seconds)`` after a test removed errors from the work list.
+    """
+    while remaining:
+        error = remaining.pop(0)
+        if on_started is not None:
+            on_started(error)
+        outcome, realized = campaign._run_error_with_test(error)
+        report.outcomes.append(outcome)
+        dropped: list[ErrorOutcome] = []
+        drop_seconds = 0.0
+        if error_simulation and realized is not None:
+            drop_start = time.monotonic()
+            survivors = []
+            for other in remaining:
+                if campaign.detects_realized(realized, other):
+                    record = campaign.dropped_outcome(
+                        other, realized, outcome.error
+                    )
+                    report.outcomes.append(record)
+                    dropped.append(record)
+                else:
+                    survivors.append(other)
+            remaining[:] = survivors
+            drop_seconds = time.monotonic() - drop_start
+            outcome.seconds += drop_seconds
+        if on_finished is not None:
+            on_finished(outcome, realized)
+        if dropped and on_dropped is not None:
+            on_dropped(outcome, dropped, drop_seconds)
+
+
+class DlxCampaign(CampaignBase):
     """Table-1 campaign on the DLX (bus SSL errors in EX/MEM/WB)."""
 
     def __init__(
@@ -134,13 +259,8 @@ class DlxCampaign:
             max_bits_per_net=max_bits_per_net,
         )
 
-    def run_error(self, error: DesignError) -> ErrorOutcome:
-        outcome, _ = self._run_error_with_test(error)
-        return outcome
-
     def _run_error_with_test(self, error: DesignError):
         from repro.dlx import detects
-        from repro.dlx.isa import NOP
         from repro.dlx.realize import RealizationError, realize
 
         start = time.monotonic()
@@ -167,8 +287,8 @@ class DlxCampaign:
                 ):
                     outcome.detected = True
                     outcome.test_length = len(realized.program)
-                    outcome.nontrivial_instructions = sum(
-                        1 for i in realized.program if i != NOP
+                    outcome.nontrivial_instructions = self.nontrivial_count(
+                        realized.program
                     )
                 else:
                     outcome.failure_stage = "isa-check"
@@ -176,58 +296,31 @@ class DlxCampaign:
         outcome.seconds = time.monotonic() - start
         return outcome, realized
 
-    def run(
-        self,
-        errors: Sequence[DesignError],
-        error_simulation: bool = False,
-    ) -> CampaignReport:
-        """Run the campaign.
-
-        With ``error_simulation`` enabled (the paper's stated future
-        improvement: "no error simulation was used in this preliminary
-        implementation"), every test that detects its target error is also
-        simulated against the remaining errors, and the ones it detects are
-        dropped from the TG work list.
-        """
+    def detects_realized(self, realized, error: DesignError) -> bool:
         from repro.dlx import detects
+
+        return detects(
+            self.processor, realized.program, error,
+            realized.init_regs, realized.init_memory,
+        )
+
+    def nontrivial_count(self, program) -> int:
         from repro.dlx.isa import NOP
 
-        report = CampaignReport()
-        start = time.monotonic()
-        remaining = list(errors)
-        while remaining:
-            error = remaining.pop(0)
-            outcome, realized = self._run_error_with_test(error)
-            report.outcomes.append(outcome)
-            if not error_simulation or realized is None:
-                continue
-            drop_start = time.monotonic()
-            survivors = []
-            for other in remaining:
-                if detects(
-                    self.processor, realized.program, other,
-                    realized.init_regs, realized.init_memory,
-                ):
-                    dropped = ErrorOutcome(
-                        error=other.describe(),
-                        detected=True,
-                        test_length=len(realized.program),
-                        nontrivial_instructions=sum(
-                            1 for i in realized.program if i != NOP
-                        ),
-                        dropped_by=outcome.error,
-                    )
-                    dropped.seconds = 0.0
-                    report.outcomes.append(dropped)
-                else:
-                    survivors.append(other)
-            remaining = survivors
-            outcome.seconds += time.monotonic() - drop_start
-        report.total_seconds = time.monotonic() - start
-        return report
+        return sum(1 for i in program if i != NOP)
+
+    def serialize_realized(self, realized) -> dict[str, Any]:
+        from repro.campaign.serialize import realized_dlx_to_dict
+
+        return realized_dlx_to_dict(realized)
+
+    def deserialize_realized(self, data: dict[str, Any]):
+        from repro.campaign.serialize import realized_dlx_from_dict
+
+        return realized_dlx_from_dict(data)
 
 
-class MiniCampaign:
+class MiniCampaign(CampaignBase):
     """The same campaign on MiniPipe (execute/write-back stages)."""
 
     def __init__(
@@ -253,9 +346,8 @@ class MiniCampaign:
             max_bits_per_net=max_bits_per_net,
         )
 
-    def run_error(self, error: DesignError) -> ErrorOutcome:
+    def _run_error_with_test(self, error: DesignError):
         from repro.mini import detects
-        from repro.mini.isa import NOP
         from repro.mini.realize import RealizationError, realize
 
         start = time.monotonic()
@@ -267,6 +359,7 @@ class MiniCampaign:
             final_backtracks=result.final_backtracks,
             attempts=result.attempts,
         )
+        realized = None
         if result.status is not TGStatus.DETECTED:
             outcome.failure_stage = "tg"
         else:
@@ -281,18 +374,33 @@ class MiniCampaign:
                 ):
                     outcome.detected = True
                     outcome.test_length = len(realized.program)
-                    outcome.nontrivial_instructions = sum(
-                        1 for i in realized.program if i != NOP
+                    outcome.nontrivial_instructions = self.nontrivial_count(
+                        realized.program
                     )
                 else:
                     outcome.failure_stage = "isa-check"
+                    realized = None
         outcome.seconds = time.monotonic() - start
-        return outcome
+        return outcome, realized
 
-    def run(self, errors: Sequence[DesignError]) -> CampaignReport:
-        report = CampaignReport()
-        start = time.monotonic()
-        for error in errors:
-            report.outcomes.append(self.run_error(error))
-        report.total_seconds = time.monotonic() - start
-        return report
+    def detects_realized(self, realized, error: DesignError) -> bool:
+        from repro.mini import detects
+
+        return detects(
+            self.processor, realized.program, error, realized.init_regs
+        )
+
+    def nontrivial_count(self, program) -> int:
+        from repro.mini.isa import NOP
+
+        return sum(1 for i in program if i != NOP)
+
+    def serialize_realized(self, realized) -> dict[str, Any]:
+        from repro.campaign.serialize import realized_mini_to_dict
+
+        return realized_mini_to_dict(realized)
+
+    def deserialize_realized(self, data: dict[str, Any]):
+        from repro.campaign.serialize import realized_mini_from_dict
+
+        return realized_mini_from_dict(data)

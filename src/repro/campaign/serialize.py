@@ -16,6 +16,8 @@ identically (checked by the test suite via co-simulation).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 from repro.campaign.runner import CampaignReport, ErrorOutcome
@@ -84,6 +86,29 @@ def realized_dlx_from_dict(data: dict[str, Any]):
     )
 
 
+def realized_mini_to_dict(realized) -> dict[str, Any]:
+    return {
+        "kind": "mini-test",
+        "program": [
+            {"op": i.op, "rs1": i.rs1, "rs2": i.rs2, "rd": i.rd, "imm": i.imm}
+            for i in realized.program
+        ],
+        "init_regs": list(realized.init_regs),
+    }
+
+
+def realized_mini_from_dict(data: dict[str, Any]):
+    from repro.mini.isa import Instruction
+    from repro.mini.realize import RealizedTest
+
+    if data.get("kind") != "mini-test":
+        raise ValueError("not a serialized MiniPipe test")
+    return RealizedTest(
+        program=[Instruction(**fields) for fields in data["program"]],
+        init_regs=list(data["init_regs"]),
+    )
+
+
 def report_to_dict(report: CampaignReport) -> dict[str, Any]:
     return {
         "kind": "campaign-report",
@@ -102,8 +127,22 @@ def report_from_dict(data: dict[str, Any]) -> CampaignReport:
 
 
 def save_json(obj: dict[str, Any], path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(obj, handle, indent=1)
+    """Write atomically (temp file in the same directory + ``os.replace``)
+    so a killed campaign never leaves a truncated artifact on disk."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(obj, handle, indent=1)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_json(path: str) -> dict[str, Any]:

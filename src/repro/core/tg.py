@@ -105,8 +105,11 @@ class TestGenerator:
     #: How many rotated justification orders to try when a justified test
     #: fails the exposure check (e.g. SB chosen where only SW exposes).
     justify_variants: int = 3
-    #: Optional wall-clock budget per error; exceeded attempts abort (the
-    #: practical analogue of the paper's per-error effort limit).
+    #: Optional CPU-time budget per error; exceeded attempts abort (the
+    #: practical analogue of the paper's per-error effort limit).  Measured
+    #: with ``time.process_time()`` so the budget — and therefore the
+    #: detected/aborted decision — does not depend on how many sibling
+    #: campaign workers compete for the CPU.
     deadline_seconds: float | None = None
     #: Optional processor-specific divergence check ``(processor, good,
     #: bad) -> (cycle, net) | None``; defaults to raw DPO comparison.
@@ -145,7 +148,7 @@ class TestGenerator:
         """Generate (and verify by co-simulation) a test for ``error``."""
         import time
 
-        started = time.monotonic()
+        started = time.process_time()
         site = self._site_net(error)
         result = TGResult(TGStatus.ABORTED, error=error.describe())
         discouraged: set = set()
@@ -153,7 +156,7 @@ class TestGenerator:
             for act_frame in range(n_frames - 1, -1, -1):
                 if (
                     self.deadline_seconds is not None
-                    and time.monotonic() - started > self.deadline_seconds
+                    and time.process_time() - started > self.deadline_seconds
                 ):
                     return result
                 result.attempts += 1

@@ -77,6 +77,50 @@ def test_dlx_campaign_default_error_count():
     assert all(dp.net(e.net).stage in (2, 3, 4) for e in errors)
 
 
+def test_mini_campaign_error_simulation_drops():
+    """MiniCampaign.run supports the same fault dropping as DlxCampaign:
+    the test for alu_mux.y[0] stuck-at-0 also detects wb_res.y[3]
+    stuck-at-1, which is dropped from the TG work list."""
+    campaign = MiniCampaign(deadline_seconds=10.0)
+    errors = [BusSSLError("alu_mux.y", 0, 0), BusSSLError("wb_res.y", 3, 1)]
+    report = campaign.run(errors, error_simulation=True)
+    assert report.n_errors == 2
+    assert report.n_detected == 2
+    dropped = [o for o in report.outcomes if o.dropped_by]
+    assert len(dropped) == 1
+    assert dropped[0].error == "bus-ssl wb_res.y[3] stuck-at-1"
+    assert dropped[0].dropped_by == "bus-ssl alu_mux.y[0] stuck-at-0"
+    assert dropped[0].detected
+    assert dropped[0].test_length > 0
+    # Dropping spent zero TG effort on the dropped error.
+    assert dropped[0].backtracks == 0
+    assert dropped[0].attempts == 0
+
+
+def test_mini_campaign_dropping_off_by_default():
+    campaign = MiniCampaign(deadline_seconds=10.0)
+    errors = [BusSSLError("alu_mux.y", 0, 0), BusSSLError("wb_res.y", 3, 1)]
+    report = campaign.run(errors)
+    assert all(not o.dropped_by for o in report.outcomes)
+    assert report.n_detected == 2
+
+
+def test_dropped_outcome_ordering_follows_dropper():
+    """Dropped outcomes are recorded right after the error whose test
+    dropped them — the order a resumable checkpoint must reproduce."""
+    campaign = MiniCampaign(deadline_seconds=10.0)
+    errors = [
+        BusSSLError("alu_mux.y", 0, 0),
+        BusSSLError("alu_add.y", 2, 0),
+        BusSSLError("wb_res.y", 3, 1),
+    ]
+    report = campaign.run(errors, error_simulation=True)
+    names = [o.error for o in report.outcomes]
+    assert names[0] == "bus-ssl alu_mux.y[0] stuck-at-0"
+    assert names[1] == "bus-ssl wb_res.y[3] stuck-at-1"  # dropped, pulled up
+    assert names[2] == "bus-ssl alu_add.y[2] stuck-at-0"
+
+
 def test_dlx_campaign_single_error():
     campaign = DlxCampaign(deadline_seconds=15.0)
     outcome = campaign.run_error(BusSSLError("mem_sdata.y", 2, 0))

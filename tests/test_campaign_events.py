@@ -1,0 +1,93 @@
+"""Tests for the structured campaign event stream."""
+
+import io
+
+import pytest
+
+from repro.campaign.events import (
+    EVENT_KINDS,
+    CampaignEvent,
+    EventLog,
+    EventStream,
+    ProgressRenderer,
+)
+
+
+def test_emit_dispatches_to_all_subscribers():
+    stream = EventStream()
+    seen_a, seen_b = [], []
+    stream.subscribe(seen_a.append)
+    stream.subscribe(seen_b.append)
+    event = stream.emit("error-started", error="e", index=0)
+    assert seen_a == [event]
+    assert seen_b == [event]
+    assert event.kind == "error-started"
+    assert event.data == {"error": "e", "index": 0}
+    assert event.wall_time > 0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        EventStream().emit("no-such-event")
+
+
+def test_event_to_dict_roundtrip_shape():
+    event = CampaignEvent("checkpoint-written", 12.5, {"path": "x"})
+    data = event.to_dict()
+    assert data == {
+        "kind": "checkpoint-written",
+        "wall_time": 12.5,
+        "data": {"path": "x"},
+    }
+
+
+def test_event_log_collects_and_filters():
+    stream = EventStream()
+    log = EventLog()
+    stream.subscribe(log)
+    stream.emit("campaign-started", target="mini", n_errors=1, jobs=1,
+                error_simulation=False, resumed=0)
+    stream.emit("error-started", error="e", index=0)
+    assert len(log.events) == 2
+    assert [e.kind for e in log.of_kind("error-started")] == ["error-started"]
+    assert log.to_dicts()[0]["kind"] == "campaign-started"
+
+
+def test_progress_renderer_lines():
+    out = io.StringIO()
+    stream = EventStream()
+    stream.subscribe(ProgressRenderer(out))
+    stream.emit("campaign-started", target="mini", n_errors=3, jobs=2,
+                error_simulation=True, resumed=1)
+    stream.emit("error-finished", error="e1", index=0, detected=True,
+                failure_stage="", test_length=4, backtracks=2,
+                final_backtracks=1, attempts=1, seconds=0.5)
+    stream.emit("test-dropped-others", error="e1", dropped=["e2"],
+                seconds=0.1)
+    stream.emit("campaign-finished", n_errors=3, n_detected=3, n_aborted=0,
+                backtracks=2, wall_seconds=1.0)
+    text = out.getvalue()
+    assert "3 errors" in text
+    assert "1 resumed from checkpoint" in text
+    assert "[   2/3] e1: detected (len 4, 1 backtracks) in 0.5s" in text
+    assert "[   3/3] dropped 1 error(s)" in text
+    assert "campaign finished: 3 detected, 0 aborted" in text
+
+
+def test_progress_renderer_aborted_line():
+    out = io.StringIO()
+    renderer = ProgressRenderer(out)
+    renderer(CampaignEvent("campaign-started", 0.0,
+                           {"target": "dlx", "n_errors": 1, "jobs": 1,
+                            "error_simulation": False, "resumed": 0}))
+    renderer(CampaignEvent("error-finished", 0.0,
+                           {"error": "e", "index": 0, "detected": False,
+                            "failure_stage": "tg", "test_length": 0,
+                            "backtracks": 9, "final_backtracks": 9,
+                            "attempts": 3, "seconds": 2.0}))
+    assert "aborted (tg)" in out.getvalue()
+
+
+def test_event_kinds_frozen():
+    assert "error-finished" in EVENT_KINDS
+    assert "campaign-finished" in EVENT_KINDS

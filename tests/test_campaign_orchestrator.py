@@ -1,0 +1,212 @@
+"""Tests for the parallel campaign orchestrator.
+
+MiniPipe is the vehicle (fast TG per error); the assertions are about the
+orchestration itself: serial equivalence, shard merging, coordinator-side
+fault dropping, checkpoint/resume, and the emitted event stream.
+"""
+
+import pytest
+
+from repro.campaign import MiniCampaign
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.campaign.events import EventLog, EventStream
+from repro.campaign.orchestrator import (
+    CampaignOrchestrator,
+    OrchestratorConfig,
+    _worker_init,
+    _worker_run,
+    build_campaign,
+    campaign_run_to_dict,
+)
+from repro.errors import BusSSLError
+
+# A set every MiniPipe campaign detects, including one deterministic
+# dropping pair: the test for alu_mux.y[0] stuck-at-0 also detects
+# wb_res.y[3] stuck-at-1.
+ERRORS = [
+    BusSSLError("alu_mux.y", 0, 0),
+    BusSSLError("wb_res.y", 3, 1),
+    BusSSLError("alu_add.y", 2, 0),
+    BusSSLError("opa_mux.y", 1, 1),
+]
+
+
+def _mini_config(**kwargs) -> OrchestratorConfig:
+    kwargs.setdefault("target", "mini")
+    kwargs.setdefault("deadline_seconds", 10.0)
+    return OrchestratorConfig(**kwargs)
+
+
+def _signature(report):
+    return sorted(
+        (o.error, o.detected, o.test_length, o.failure_stage, o.dropped_by)
+        for o in report.outcomes
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OrchestratorConfig(target="no-such-processor")
+    with pytest.raises(ValueError):
+        OrchestratorConfig(jobs=0)
+    with pytest.raises(ValueError):
+        OrchestratorConfig(resume=True, checkpoint_path=None)
+    assert OrchestratorConfig(jobs=4).to_dict()["jobs"] == 4
+
+
+def test_build_campaign_targets():
+    assert isinstance(build_campaign("mini", 10.0), MiniCampaign)
+    with pytest.raises(ValueError):
+        build_campaign("z80", 10.0)
+
+
+def test_serial_orchestration_matches_classic_driver():
+    classic = MiniCampaign(deadline_seconds=10.0).run(ERRORS)
+    orchestrated = CampaignOrchestrator(_mini_config(jobs=1)).run(ERRORS)
+    assert [o.error for o in orchestrated.outcomes] == [
+        o.error for o in classic.outcomes
+    ]
+    assert _signature(orchestrated) == _signature(classic)
+
+
+def test_parallel_matches_serial_counts():
+    serial = CampaignOrchestrator(_mini_config(jobs=1)).run(ERRORS)
+    parallel = CampaignOrchestrator(_mini_config(jobs=2)).run(ERRORS)
+    assert _signature(parallel) == _signature(serial)
+    assert parallel.n_detected == serial.n_detected
+    assert parallel.n_aborted == serial.n_aborted
+
+
+def test_parallel_dropping_composes_with_sharding():
+    report = CampaignOrchestrator(
+        _mini_config(jobs=2, error_simulation=True)
+    ).run(ERRORS)
+    # Every error accounted for exactly once, dropped or generated.
+    assert sorted(o.error for o in report.outcomes) == sorted(
+        e.describe() for e in ERRORS
+    )
+    assert report.n_detected == len(ERRORS)
+
+
+def test_serial_dropping_emits_drop_events():
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    report = CampaignOrchestrator(
+        _mini_config(jobs=1, error_simulation=True), events=events
+    ).run(ERRORS)
+    drops = log.of_kind("test-dropped-others")
+    assert len(drops) >= 1
+    assert drops[0].data["error"] == "bus-ssl alu_mux.y[0] stuck-at-0"
+    assert "bus-ssl wb_res.y[3] stuck-at-1" in drops[0].data["dropped"]
+    dropped_outcomes = [o for o in report.outcomes if o.dropped_by]
+    assert dropped_outcomes and all(o.detected for o in dropped_outcomes)
+
+
+def test_event_stream_covers_lifecycle():
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    CampaignOrchestrator(_mini_config(jobs=2), events=events).run(ERRORS)
+    assert len(log.of_kind("campaign-started")) == 1
+    assert len(log.of_kind("error-started")) == len(ERRORS)
+    assert len(log.of_kind("error-finished")) == len(ERRORS)
+    finished = log.of_kind("campaign-finished")[0]
+    assert finished.data["n_detected"] == len(ERRORS)
+    assert finished.data["wall_seconds"] > 0
+    for event in log.of_kind("error-finished"):
+        assert event.data["seconds"] > 0
+        assert event.data["backtracks"] >= 0
+
+
+def test_checkpoint_written_per_outcome(tmp_path):
+    path = str(tmp_path / "cp.jsonl")
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    report = CampaignOrchestrator(
+        _mini_config(jobs=2, checkpoint_path=path), events=events
+    ).run(ERRORS)
+    records = CampaignCheckpoint.load(path)
+    assert len(records) == report.n_errors == len(ERRORS)
+    # Detected errors carry their serialized realized test in the record.
+    assert all(
+        r.test is not None and r.test["kind"] == "mini-test"
+        for r in records
+        if r.outcome.detected and not r.outcome.dropped_by
+    )
+    assert len(log.of_kind("checkpoint-written")) == len(records)
+
+
+def test_resume_skips_completed_and_reproduces_report(tmp_path):
+    path = str(tmp_path / "cp.jsonl")
+    full = CampaignOrchestrator(
+        _mini_config(jobs=1, checkpoint_path=path)
+    ).run(ERRORS)
+
+    # Simulate a killed run: keep only the first two checkpoint records.
+    lines = open(path).read().splitlines()
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines[:2]) + "\n")
+
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    resumed = CampaignOrchestrator(
+        _mini_config(jobs=1, checkpoint_path=path, resume=True),
+        events=events,
+    ).run(ERRORS)
+    assert log.of_kind("campaign-started")[0].data["resumed"] == 2
+    # Only the remaining errors were regenerated...
+    assert len(log.of_kind("error-started")) == len(ERRORS) - 2
+    # ... and the final report is identical to the uninterrupted run.
+    assert [o.error for o in resumed.outcomes] == [
+        o.error for o in full.outcomes
+    ]
+    assert _signature(resumed) == _signature(full)
+    # The checkpoint now covers the whole campaign again.
+    assert CampaignCheckpoint.completed_errors(path) == {
+        e.describe() for e in ERRORS
+    }
+
+
+def test_resume_with_complete_checkpoint_does_no_work(tmp_path):
+    path = str(tmp_path / "cp.jsonl")
+    config = _mini_config(jobs=1, checkpoint_path=path)
+    first = CampaignOrchestrator(config).run(ERRORS)
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    again = CampaignOrchestrator(
+        _mini_config(jobs=4, checkpoint_path=path, resume=True),
+        events=events,
+    ).run(ERRORS)
+    assert log.of_kind("error-started") == []
+    assert _signature(again) == _signature(first)
+
+
+def test_worker_entry_points_in_process():
+    """The pool worker functions themselves, run in-process."""
+    _worker_init("mini", 10.0)
+    index, outcome_dict, test = _worker_run((7, ERRORS[0]))
+    assert index == 7
+    assert outcome_dict["detected"]
+    assert outcome_dict["error"] == ERRORS[0].describe()
+    assert test["kind"] == "mini-test"
+    assert len(test["program"]) == outcome_dict["test_length"]
+
+
+def test_campaign_run_to_dict_shape():
+    config = _mini_config(jobs=2)
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    report = CampaignOrchestrator(config, events=events).run(ERRORS[:2])
+    data = campaign_run_to_dict(config, report, log.events)
+    assert data["kind"] == "campaign-run"
+    assert data["config"]["target"] == "mini"
+    assert data["config"]["jobs"] == 2
+    assert len(data["report"]["outcomes"]) == 2
+    assert {e["kind"] for e in data["events"]} >= {
+        "campaign-started", "error-finished", "campaign-finished",
+    }

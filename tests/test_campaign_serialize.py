@@ -87,3 +87,76 @@ def test_report_roundtrip():
     assert rebuilt.n_detected == 1
     assert rebuilt.outcomes[0].final_backtracks == 2
     assert rebuilt.table1() == report.table1()
+
+
+def test_report_roundtrip_with_dropped_outcomes():
+    """A report containing fault-dropped outcomes survives the round trip
+    with the dropping provenance intact."""
+    report = CampaignReport(
+        outcomes=[
+            ErrorOutcome("e1", True, test_length=4, final_backtracks=1),
+            ErrorOutcome("e2", True, test_length=4,
+                         nontrivial_instructions=2, dropped_by="e1"),
+            ErrorOutcome("e3", False, failure_stage="realize"),
+        ],
+        total_seconds=12.0,
+    )
+    rebuilt = report_from_dict(report_to_dict(report))
+    assert rebuilt.n_errors == 3
+    assert rebuilt.n_detected == 2
+    assert rebuilt.outcomes[1].dropped_by == "e1"
+    assert rebuilt.outcomes[1].detected
+    assert rebuilt.outcomes[1].nontrivial_instructions == 2
+    assert rebuilt.outcomes[2].failure_stage == "realize"
+    assert rebuilt.table1() == report.table1()
+
+
+def test_realized_mini_roundtrip_behaviour():
+    """A saved MiniPipe test replays with identical detection behaviour."""
+    from repro.campaign.serialize import (
+        realized_mini_from_dict,
+        realized_mini_to_dict,
+    )
+    from repro.mini import detects
+    from repro.mini.realize import realize
+
+    processor = build_minipipe()
+    error = BusSSLError("alu_mux.y", 1, 0)
+    result = TestGenerator(processor).generate(error)
+    assert result.status is TGStatus.DETECTED
+    realized = realize(result.test)
+
+    rebuilt = realized_mini_from_dict(realized_mini_to_dict(realized))
+    assert rebuilt.program == realized.program
+    assert rebuilt.init_regs == realized.init_regs
+    assert detects(processor, rebuilt.program, error, rebuilt.init_regs)
+
+
+def test_realized_mini_kind_checked():
+    from repro.campaign.serialize import realized_mini_from_dict
+
+    with pytest.raises(ValueError):
+        realized_mini_from_dict({"kind": "dlx-test"})
+
+
+def test_save_json_is_atomic(tmp_path):
+    """save_json replaces the target in one step and leaves no temp file."""
+    import os
+
+    path = tmp_path / "report.json"
+    save_json({"kind": "campaign-report", "v": 1}, str(path))
+    save_json({"kind": "campaign-report", "v": 2}, str(path))
+    assert load_json(str(path))["v"] == 2
+    assert os.listdir(tmp_path) == ["report.json"]
+
+
+def test_save_json_failure_leaves_old_file_intact(tmp_path):
+    """An unserializable object must not clobber the previous artifact."""
+    import os
+
+    path = tmp_path / "report.json"
+    save_json({"v": "good"}, str(path))
+    with pytest.raises(TypeError):
+        save_json({"v": object()}, str(path))
+    assert load_json(str(path))["v"] == "good"
+    assert os.listdir(tmp_path) == ["report.json"]

@@ -26,6 +26,70 @@ def test_generate_command_aborts_on_unobservable(capsys):
     assert "aborted" in out
 
 
+def test_minipipe_command_with_orchestration_flags(tmp_path, capsys):
+    """minipipe with sharding, checkpointing and the JSON report."""
+    from repro.campaign.checkpoint import CampaignCheckpoint
+    from repro.campaign.serialize import load_json
+
+    checkpoint = tmp_path / "cp.jsonl"
+    out = tmp_path / "run.json"
+    assert main(["minipipe", "--sample", "30", "--jobs", "2",
+                 "--checkpoint", str(checkpoint), "--json", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "MiniPipe bus SSL campaign" in stdout
+    assert "2 job(s)" in stdout
+
+    data = load_json(str(out))
+    assert data["kind"] == "campaign-run"
+    assert data["config"]["target"] == "mini"
+    assert data["config"]["jobs"] == 2
+    n_errors = len(data["report"]["outcomes"])
+    assert n_errors >= 1
+    assert len(CampaignCheckpoint.load(str(checkpoint))) == n_errors
+    kinds = {event["kind"] for event in data["events"]}
+    assert {"campaign-started", "error-finished", "checkpoint-written",
+            "campaign-finished"} <= kinds
+
+    # Resuming from the finished checkpoint regenerates nothing and
+    # reports the same counts.
+    out2 = tmp_path / "run2.json"
+    assert main(["minipipe", "--sample", "30", "--jobs", "2",
+                 "--checkpoint", str(checkpoint), "--resume",
+                 "--json", str(out2)]) == 0
+    capsys.readouterr()
+    data2 = load_json(str(out2))
+    assert {o["error"]: o["detected"]
+            for o in data2["report"]["outcomes"]} == {
+        o["error"]: o["detected"] for o in data["report"]["outcomes"]
+    }
+    started = [e for e in data2["events"] if e["kind"] == "campaign-started"]
+    assert started[0]["data"]["resumed"] == n_errors
+    assert not any(e["kind"] == "error-started" for e in data2["events"])
+
+
+def test_minipipe_dropping_flag(capsys):
+    assert main(["minipipe", "--sample", "40", "--dropping"]) == 0
+    out = capsys.readouterr().out
+    assert "fault dropping skipped TG for" in out
+
+
+def test_resume_requires_checkpoint(capsys):
+    assert main(["minipipe", "--resume"]) == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_jobs_must_be_positive(capsys):
+    assert main(["minipipe", "--jobs", "0"]) == 2
+    assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+def test_resume_rejects_corrupt_checkpoint(tmp_path, capsys):
+    path = tmp_path / "cp.jsonl"
+    path.write_text("GARBAGE\n{}\n")
+    assert main(["minipipe", "--checkpoint", str(path), "--resume"]) == 2
+    assert "corrupt checkpoint" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
