@@ -20,6 +20,10 @@ Campaign flags (``table1`` and ``minipipe``):
   error outcomes, structured event stream) — atomically
 * ``--dropping``      error simulation / fault dropping (composes with
   ``--jobs``: finished tests drop errors from the undispatched tail)
+* ``--profile``       record per-phase TG timings (DPTRACE / CTRLJUST /
+  DPRELAX / cosim) as ``error-profile`` events plus one
+  ``profile-summary``, visible in the progress feed and the ``--json``
+  report
 
 Live per-error progress is rendered on stderr; stdout carries the Table-1
 summary.
@@ -70,6 +74,7 @@ def _run_campaign_command(args, target: str, title: str | None) -> int:
         error_simulation=args.dropping,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        profile=args.profile,
     )
     events = EventStream()
     log = EventLog()
@@ -162,6 +167,9 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                         help="skip errors already in --checkpoint")
     parser.add_argument("--json", metavar="OUT", default=None,
                         help="write a machine-readable run report to OUT")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-phase TG timings in the event "
+                             "stream / --json report")
 
 
 def main(argv: list[str] | None = None) -> int:

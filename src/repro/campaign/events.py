@@ -17,6 +17,15 @@ wall-clock time):
 ``error-finished``
     ``error``, ``index``, ``detected``, ``failure_stage``, ``test_length``,
     ``backtracks``, ``final_backtracks``, ``attempts``, ``seconds``.
+``error-profile``
+    ``error``, ``index``, ``phase_seconds`` (CPU seconds per TG phase:
+    dptrace / ctrljust / dprelax / cosim), ``golden_hits``,
+    ``golden_misses``.  Emitted only when profiling is enabled
+    (``--profile``).
+``profile-summary``
+    ``phase_seconds`` (summed over every error), ``golden_hits``,
+    ``golden_misses``.  One per profiled campaign, before
+    ``campaign-finished``.
 ``test-dropped-others``
     ``error`` (whose test was simulated), ``dropped`` (list of error
     descriptions removed from the work list), ``seconds``.
@@ -38,6 +47,8 @@ EVENT_KINDS = frozenset({
     "campaign-started",
     "error-started",
     "error-finished",
+    "error-profile",
+    "profile-summary",
     "test-dropped-others",
     "checkpoint-written",
     "campaign-finished",
@@ -135,6 +146,14 @@ class ProgressRenderer:
             self._line(f"[{self._done:>4}/{self._total}] dropped "
                        f"{len(dropped)} error(s) with the test for "
                        f"{data['error']}")
+        elif event.kind == "profile-summary":
+            phases = ", ".join(
+                f"{name} {seconds:.1f}s"
+                for name, seconds in sorted(data["phase_seconds"].items())
+            )
+            self._line(f"profile: {phases or 'no phase samples'}; "
+                       f"golden cache {data['golden_hits']} hit(s), "
+                       f"{data['golden_misses']} fault-free sim(s)")
         elif event.kind == "campaign-finished":
             self._line(f"campaign finished: {data['n_detected']} detected, "
                        f"{data['n_aborted']} aborted "

@@ -62,6 +62,9 @@ class OrchestratorConfig:
     error_simulation: bool = False
     checkpoint_path: str | None = None
     resume: bool = False
+    #: Emit per-error ``error-profile`` events (TG phase timings) and one
+    #: aggregated ``profile-summary`` into the event stream / JSON report.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.target not in CAMPAIGN_TARGETS:
@@ -176,6 +179,8 @@ class CampaignOrchestrator:
             if checkpoint is not None:
                 checkpoint.close()
         report.total_seconds = time.monotonic() - start
+        if config.profile:
+            self._emit_profile_summary(report)
         self.events.emit(
             "campaign-finished",
             n_errors=report.n_errors,
@@ -352,6 +357,27 @@ class CampaignOrchestrator:
             final_backtracks=outcome.final_backtracks,
             attempts=outcome.attempts,
             seconds=outcome.seconds,
+        )
+        if self.config.profile:
+            self.events.emit(
+                "error-profile",
+                error=outcome.error,
+                index=index,
+                phase_seconds=dict(outcome.phase_seconds),
+                golden_hits=outcome.golden_hits,
+                golden_misses=outcome.golden_misses,
+            )
+
+    def _emit_profile_summary(self, report: CampaignReport) -> None:
+        phase_seconds: dict[str, float] = {}
+        for outcome in report.outcomes:
+            for phase, seconds in outcome.phase_seconds.items():
+                phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+        self.events.emit(
+            "profile-summary",
+            phase_seconds=phase_seconds,
+            golden_hits=sum(o.golden_hits for o in report.outcomes),
+            golden_misses=sum(o.golden_misses for o in report.outcomes),
         )
 
     def _write_checkpoint(

@@ -39,6 +39,11 @@ class ErrorOutcome:
     #: Set when error simulation (fault dropping) detected this error with
     #: a test generated for another error, skipping TG entirely.
     dropped_by: str = ""
+    #: CPU seconds per TG engine phase (dptrace/ctrljust/dprelax/cosim).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Golden-trace cache traffic during this error's exposure checks.
+    golden_hits: int = 0
+    golden_misses: int = 0
 
 
 @dataclass
@@ -271,6 +276,9 @@ class DlxCampaign(CampaignBase):
             backtracks=result.backtracks,
             final_backtracks=result.final_backtracks,
             attempts=result.attempts,
+            phase_seconds=dict(result.phase_seconds),
+            golden_hits=result.golden_hits,
+            golden_misses=result.golden_misses,
         )
         realized = None
         if result.status is not TGStatus.DETECTED:
@@ -358,6 +366,9 @@ class MiniCampaign(CampaignBase):
             backtracks=result.backtracks,
             final_backtracks=result.final_backtracks,
             attempts=result.attempts,
+            phase_seconds=dict(result.phase_seconds),
+            golden_hits=result.golden_hits,
+            golden_misses=result.golden_misses,
         )
         realized = None
         if result.status is not TGStatus.DETECTED:

@@ -1,5 +1,6 @@
 """Bit-level controller substrate with three-valued implication (Section III/IV)."""
 
+from repro.controller.implication import CompiledNetwork, ImplicationSession
 from repro.controller.network import ControlNetwork, ControlNetworkError
 from repro.controller.nodes import (
     AndNode,
@@ -27,6 +28,7 @@ from repro.controller.signals import Signal, SignalKind, bit_signal, field_signa
 __all__ = [
     "AndNode",
     "BufNode",
+    "CompiledNetwork",
     "ConstNode",
     "ControlNetwork",
     "ControlNetworkError",
@@ -34,6 +36,7 @@ __all__ = [
     "CprNode",
     "EqConstNode",
     "EqNode",
+    "ImplicationSession",
     "InSetNode",
     "MuxNode",
     "NotNode",

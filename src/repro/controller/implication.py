@@ -1,0 +1,386 @@
+"""Compiled, event-driven three-valued implication for controller networks.
+
+:class:`ControlNetwork.evaluate` is the inner loop of CTRLJUST: every PODEM
+decision and every backtrack re-derives the implied values of the whole
+unrolled controller.  This module replaces that per-call dict machinery with
+two layers:
+
+* :class:`CompiledNetwork` — a one-time compilation of a network: signal
+  names interned to dense integer ids, driven nodes in topological *level*
+  order with their input-id tuples, a fanout adjacency list, and memoized
+  per-node ``eval3`` / ``backtrace_options`` lookup tables (small-domain
+  nodes are fully tabulated).  A full sweep over the compiled arrays is the
+  same fixpoint as ``ControlNetwork.evaluate``, just without rebuilding any
+  dictionaries.
+
+* :class:`ImplicationSession` — an incremental view of one assignment-
+  under-construction.  ``assume(signal, value)`` propagates only through
+  the fanout cone of the changed signal (a level-ordered event queue, so
+  each node is re-evaluated at most once per assume) and records every
+  mutation on a trail; ``retract()`` undoes the most recent assume in
+  O(changed).  The justified / conflicting classification of overridden
+  (cut tertiary) signals is maintained incrementally alongside the values.
+
+The full-sweep path in :mod:`repro.controller.network` stays available as
+the reference oracle; the differential tests drive both on random
+assume/retract sequences and demand bit-identical results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping, Sequence
+
+#: Upper bound on the size of a precomputed eval3 table per node.  Nodes
+#: whose three-valued input space is larger fall back to calling ``eval3``
+#: (memoized lazily for the combinations actually visited).
+EVAL_TABLE_LIMIT = 4096
+
+
+class CompiledNetwork:
+    """A :class:`ControlNetwork` lowered to flat arrays over dense ids.
+
+    Build once per network (``ControlNetwork.compiled`` caches the result);
+    the compilation is read-only and shared by every sweep and session.
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.names: list[str] = list(network.signals)
+        self.index: dict[str, int] = {
+            name: i for i, name in enumerate(self.names)
+        }
+        n = len(self.names)
+        self.domains: list[tuple[int, ...]] = [
+            network.signals[name].domain for name in self.names
+        ]
+        self.is_driven = [False] * n
+        #: Driven-signal ids in dependency order.
+        self.topo_ids: list[int] = []
+        #: Topological level: externals 0, nodes 1 + max(input levels).
+        self.level = [0] * n
+        self.node_of: list[object | None] = [None] * n
+        self.inputs_of: list[tuple[int, ...]] = [()] * n
+        #: Memoized evaluator per driven id: callable(tuple of values).
+        self.eval_of: list[object | None] = [None] * n
+        #: Driven ids consuming each signal (the event-propagation edges).
+        self.fanout: list[tuple[int, ...]] = [()] * n
+
+        fanout: list[list[int]] = [[] for _ in range(n)]
+        for name in network.topological_order():
+            node = network.drivers[name]
+            out = self.index[name]
+            in_ids = tuple(self.index[i] for i in node.inputs)
+            self.is_driven[out] = True
+            self.topo_ids.append(out)
+            self.node_of[out] = node
+            self.inputs_of[out] = in_ids
+            self.level[out] = 1 + max(
+                (self.level[i] for i in in_ids), default=0
+            )
+            for i in dict.fromkeys(in_ids):
+                fanout[i].append(out)
+            self.eval_of[out] = _memoized_eval(
+                node, [self.domains[i] for i in in_ids]
+            )
+        self.fanout = [tuple(consumers) for consumers in fanout]
+        self.external_ids = [i for i in range(n) if not self.is_driven[i]]
+        self._backtrace_memo: list[dict | None] = [None] * n
+
+    # ------------------------------------------------------------------
+    # Full sweep (the compiled form of ControlNetwork.evaluate)
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        assignment: Mapping[str, int | None],
+        overrides: Mapping[str, int] | None = None,
+    ) -> list[int | None]:
+        """One topological implication sweep; returns the value array."""
+        values: list[int | None] = [None] * len(self.names)
+        names = self.names
+        overrides = overrides or {}
+        for i in self.external_ids:
+            name = names[i]
+            values[i] = overrides.get(name, assignment.get(name))
+        override_ids = {}
+        for name, value in overrides.items():
+            out = self.index.get(name)
+            if out is not None and self.is_driven[out]:
+                override_ids[out] = value
+        inputs_of, eval_of = self.inputs_of, self.eval_of
+        for out in self.topo_ids:
+            computed = eval_of[out](
+                tuple(values[i] for i in inputs_of[out])
+            )
+            values[out] = override_ids.get(out, computed)
+        return values
+
+    def values_dict(
+        self, values: Sequence[int | None]
+    ) -> dict[str, int | None]:
+        return dict(zip(self.names, values))
+
+    def compute_node(
+        self, out: int, values: Sequence[int | None]
+    ) -> int | None:
+        """The node function of driven id ``out`` on the current values."""
+        return self.eval_of[out](
+            tuple(values[i] for i in self.inputs_of[out])
+        )
+
+    # ------------------------------------------------------------------
+    # Memoized backtrace
+    # ------------------------------------------------------------------
+    def backtrace_options(
+        self, out: int, target: int, input_values: tuple
+    ) -> list[tuple[int, int]]:
+        """``node.backtrace_options`` for driven id ``out``, memoized.
+
+        The node's input domains are fixed at compile time, so the result
+        is a pure function of ``(target, input_values)``.
+        """
+        memo = self._backtrace_memo[out]
+        if memo is None:
+            memo = self._backtrace_memo[out] = {}
+        key = (target, input_values)
+        options = memo.get(key)
+        if options is None:
+            node = self.node_of[out]
+            domains = [self.domains[i] for i in self.inputs_of[out]]
+            options = node.backtrace_options(target, input_values, domains)
+            memo[key] = options
+        return options
+
+
+def _memoized_eval(node, domains: list[tuple[int, ...]]):
+    """An eval3 evaluator for ``node``: a full lookup table when the
+    three-valued input space is small, a lazy memo otherwise."""
+    table = node.eval3_table(domains, limit=EVAL_TABLE_LIMIT)
+    if table is not None:
+        return table.__getitem__
+
+    memo: dict = {}
+    eval3 = node.eval3
+
+    def evaluate(values: tuple):
+        try:
+            return memo[values]
+        except KeyError:
+            result = memo[values] = eval3(values)
+            return result
+
+    return evaluate
+
+
+# Trail entry tags (first element of each tuple on the trail).
+_T_VALUE = 0  # (tag, id, previous effective value)
+_T_COMPUTED = 1  # (tag, id, previous computed value)
+_T_OVERRIDE = 2  # (tag, id, previous override value or _NO_OVERRIDE)
+_T_CLASS = 3  # (tag, id, previous classification)
+_NO_OVERRIDE = object()
+
+# Classification states of an overridden driven signal.
+_OPEN, _JUSTIFIED, _CONFLICTING = 0, 1, 2
+
+
+class ImplicationSession:
+    """Incremental three-valued implication with trail-based undo.
+
+    One session is one assignment-under-construction over a compiled
+    network.  ``assume`` a value for any signal:
+
+    * an *external* signal is assigned directly;
+    * a *driven* signal is **cut** (the pipeframe override): downstream
+      logic consumes the decided value immediately, while the driving
+      cone's own computation keeps being tracked, classifying the cut as
+      justified (cone computes the decided value), conflicting (cone
+      computes a different concrete value) or still open.
+
+    Each ``assume`` propagates through the fanout cone of the changed
+    signal only; ``retract`` rewinds the trail to the previous decision
+    point.  At any moment the session's ``values``, ``justified_names``
+    and ``conflicting_names`` equal what a fresh full sweep
+    (``ControlNetwork.consistency``) over the same assignment/overrides
+    would produce.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledNetwork,
+        base_assignment: Mapping[str, int | None] | None = None,
+    ) -> None:
+        self.compiled = compiled
+        n = len(compiled.names)
+        #: Effective value per signal id (override wins over computation).
+        self.values: list[int | None] = [None] * n
+        #: Node-computed value per driven id (valid independent of cuts).
+        self.computed: list[int | None] = [None] * n
+        self.overrides: dict[int, int] = {}
+        #: Classification per id: _OPEN / _JUSTIFIED / _CONFLICTING; only
+        #: meaningful while the id is overridden.
+        self._class = [_OPEN] * n
+        self._justified_ids: set[int] = set()
+        self._conflicting_ids: set[int] = set()
+        self._trail: list[tuple] = []
+        self._marks: list[int] = []
+        if base_assignment:
+            index = compiled.index
+            for name, value in base_assignment.items():
+                i = index[name]
+                if not compiled.is_driven[i]:
+                    self.values[i] = value
+        for out in compiled.topo_ids:
+            computed = compiled.compute_node(out, self.values)
+            self.computed[out] = computed
+            self.values[out] = computed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> int | None:
+        return self.values[self.compiled.index[name]]
+
+    def get(self, name: str, default=None):
+        """Mapping-style accessor (drop-in for the full-sweep value dict)."""
+        i = self.compiled.index.get(name)
+        return default if i is None else self.values[i]
+
+    __getitem__ = value
+
+    @property
+    def has_conflict(self) -> bool:
+        return bool(self._conflicting_ids)
+
+    def is_justified(self, name: str) -> bool:
+        return self.compiled.index[name] in self._justified_ids
+
+    @property
+    def justified_names(self) -> set[str]:
+        names = self.compiled.names
+        return {names[i] for i in self._justified_ids}
+
+    @property
+    def conflicting_names(self) -> set[str]:
+        names = self.compiled.names
+        return {names[i] for i in self._conflicting_ids}
+
+    @property
+    def depth(self) -> int:
+        """Number of assumes currently on the trail."""
+        return len(self._marks)
+
+    def snapshot(self) -> dict[str, int | None]:
+        """The complete name -> value map (same shape as ``evaluate``)."""
+        return dict(zip(self.compiled.names, self.values))
+
+    # ------------------------------------------------------------------
+    # Assume / retract
+    # ------------------------------------------------------------------
+    def assume(self, name: str, value: int) -> None:
+        """Decide ``name = value`` and propagate its implications."""
+        comp = self.compiled
+        i = comp.index[name]
+        self._marks.append(len(self._trail))
+        trail = self._trail
+        if comp.is_driven[i]:
+            previous = self.overrides.get(i, _NO_OVERRIDE)
+            trail.append((_T_OVERRIDE, i, previous))
+            self.overrides[i] = value
+            self._reclassify(i, value)
+            if self.values[i] != value:
+                trail.append((_T_VALUE, i, self.values[i]))
+                self.values[i] = value
+                self._propagate(comp.fanout[i])
+        else:
+            if self.values[i] != value:
+                trail.append((_T_VALUE, i, self.values[i]))
+                self.values[i] = value
+                self._propagate(comp.fanout[i])
+
+    def retract(self) -> None:
+        """Undo the most recent :meth:`assume` (values, classification)."""
+        if not self._marks:
+            raise IndexError("retract without a matching assume")
+        mark = self._marks.pop()
+        trail = self._trail
+        values, computed = self.values, self.computed
+        while len(trail) > mark:
+            entry = trail.pop()
+            tag, i = entry[0], entry[1]
+            if tag == _T_VALUE:
+                values[i] = entry[2]
+            elif tag == _T_COMPUTED:
+                computed[i] = entry[2]
+            elif tag == _T_OVERRIDE:
+                if entry[2] is _NO_OVERRIDE:
+                    del self.overrides[i]
+                else:
+                    self.overrides[i] = entry[2]
+            else:  # _T_CLASS
+                self._set_class(i, entry[2])
+
+    # ------------------------------------------------------------------
+    # Event-driven propagation
+    # ------------------------------------------------------------------
+    def _propagate(self, seeds: Iterable[int]) -> None:
+        """Re-evaluate the fanout cone of changed signals in level order.
+
+        Levels strictly increase along every edge, so processing the queue
+        in level order evaluates each node at most once per assume with
+        all of its (possibly changed) inputs already final.
+        """
+        comp = self.compiled
+        level = comp.level
+        queue = [(level[out], out) for out in seeds]
+        heapq.heapify(queue)
+        scheduled = set(out for _, out in queue)
+        trail = self._trail
+        values, computed = self.values, self.computed
+        overrides = self.overrides
+        while queue:
+            _, out = heapq.heappop(queue)
+            scheduled.discard(out)
+            new_computed = comp.compute_node(out, values)
+            if new_computed != computed[out]:
+                trail.append((_T_COMPUTED, out, computed[out]))
+                computed[out] = new_computed
+            decided = overrides.get(out)
+            if decided is not None:
+                self._reclassify(out, decided)
+                effective = decided
+            else:
+                effective = new_computed
+            if effective != values[out]:
+                trail.append((_T_VALUE, out, values[out]))
+                values[out] = effective
+                for consumer in comp.fanout[out]:
+                    if consumer not in scheduled:
+                        scheduled.add(consumer)
+                        heapq.heappush(queue, (level[consumer], consumer))
+
+    # ------------------------------------------------------------------
+    # Justified / conflicting bookkeeping
+    # ------------------------------------------------------------------
+    def _reclassify(self, i: int, decided: int) -> None:
+        computed = self.computed[i]
+        if computed is None:
+            new = _OPEN
+        elif computed == decided:
+            new = _JUSTIFIED
+        else:
+            new = _CONFLICTING
+        if self._class[i] != new:
+            self._trail.append((_T_CLASS, i, self._class[i]))
+            self._set_class(i, new)
+
+    def _set_class(self, i: int, state: int) -> None:
+        self._class[i] = state
+        if state == _JUSTIFIED:
+            self._justified_ids.add(i)
+            self._conflicting_ids.discard(i)
+        elif state == _CONFLICTING:
+            self._conflicting_ids.add(i)
+            self._justified_ids.discard(i)
+        else:
+            self._justified_ids.discard(i)
+            self._conflicting_ids.discard(i)

@@ -24,6 +24,7 @@ class ControlNetwork:
         self.signals: dict[str, Signal] = {}
         self.drivers: dict[str, ControlNode] = {}
         self._topo_cache: list[str] | None = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -33,6 +34,7 @@ class ControlNetwork:
             raise ControlNetworkError(f"duplicate signal {signal.name!r}")
         self.signals[signal.name] = signal
         self._topo_cache = None
+        self._compiled_cache = None
         return signal
 
     def drive(self, name: str, node: ControlNode) -> None:
@@ -48,6 +50,7 @@ class ControlNetwork:
                 )
         self.drivers[name] = node
         self._topo_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -69,29 +72,51 @@ class ControlNetwork:
         return [self.signals[name].domain for name in node.inputs]
 
     def topological_order(self) -> list[str]:
-        """Driven signal names in dependency order; detects cycles."""
+        """Driven signal names in dependency order; detects cycles.
+
+        Iterative DFS: deeply unrolled networks produce dependency chains
+        far longer than Python's recursion limit allows.
+        """
         if self._topo_cache is not None:
             return self._topo_cache
         order: list[str] = []
         visiting: set[str] = set()
         done: set[str] = set()
-
-        def visit(name: str) -> None:
-            if name in done or name not in self.drivers:
-                return
-            if name in visiting:
-                raise ControlNetworkError(f"combinational cycle through {name!r}")
-            visiting.add(name)
-            for dep in self.drivers[name].inputs:
-                visit(dep)
-            visiting.discard(name)
-            done.add(name)
-            order.append(name)
-
-        for name in sorted(self.drivers):
-            visit(name)
+        for root in sorted(self.drivers):
+            if root in done:
+                continue
+            visiting.add(root)
+            stack = [(root, iter(self.drivers[root].inputs))]
+            while stack:
+                name, deps = stack[-1]
+                descended = False
+                for dep in deps:
+                    if dep in done or dep not in self.drivers:
+                        continue
+                    if dep in visiting:
+                        raise ControlNetworkError(
+                            f"combinational cycle through {dep!r}"
+                        )
+                    visiting.add(dep)
+                    stack.append((dep, iter(self.drivers[dep].inputs)))
+                    descended = True
+                    break
+                if not descended:
+                    stack.pop()
+                    visiting.discard(name)
+                    done.add(name)
+                    order.append(name)
         self._topo_cache = order
         return order
+
+    def compiled(self):
+        """The :class:`repro.controller.implication.CompiledNetwork` view
+        of this network (built once, invalidated by structural edits)."""
+        if self._compiled_cache is None:
+            from repro.controller.implication import CompiledNetwork
+
+            self._compiled_cache = CompiledNetwork(self)
+        return self._compiled_cache
 
     # ------------------------------------------------------------------
     # Implication
@@ -112,18 +137,12 @@ class ControlNetwork:
         Returns a complete value map for every signal; for overridden signals
         the map holds the decided value, and ``computed:<name>`` entries are
         NOT added — use :meth:`consistency` to compare.
+
+        The sweep runs over the compiled flat-array form of the network
+        (:meth:`compiled`), not per-call dictionaries.
         """
-        overrides = overrides or {}
-        values: dict[str, int | None] = {}
-        for name in self.signals:
-            if name in self.drivers:
-                continue
-            values[name] = overrides.get(name, assignment.get(name))
-        for name in self.topological_order():
-            node = self.drivers[name]
-            computed = node.eval3([values[i] for i in node.inputs])
-            values[name] = overrides.get(name, computed)
-        return values
+        compiled = self.compiled()
+        return compiled.values_dict(compiled.sweep(assignment, overrides))
 
     def consistency(
         self,
@@ -137,14 +156,16 @@ class ControlNetwork:
         *conflicting* when the cone computes a different concrete value, and
         otherwise still open.
         """
-        values = self.evaluate(assignment, overrides)
+        compiled = self.compiled()
+        raw = compiled.sweep(assignment, overrides)
+        values = compiled.values_dict(raw)
         justified: list[str] = []
         conflicting: list[str] = []
         for name, decided in overrides.items():
-            node = self.drivers.get(name)
-            if node is None:
+            out = compiled.index.get(name)
+            if out is None or not compiled.is_driven[out]:
                 continue  # overriding an external signal is just assignment
-            computed = node.eval3([values[i] for i in node.inputs])
+            computed = compiled.compute_node(out, raw)
             if computed is None:
                 continue
             if computed == decided:

@@ -40,6 +40,29 @@ class ControlNode:
         """Ordered (input index, desired value) options to reach ``target``."""
         raise NotImplementedError
 
+    def eval3_table(
+        self,
+        domains: Sequence[Sequence[int]],
+        limit: int = 4096,
+    ) -> dict[tuple, int | None] | None:
+        """Precompute ``eval3`` over the whole three-valued input space.
+
+        ``domains`` are the input signals' domains; each axis is extended
+        with ``None`` (X).  Returns the complete lookup table keyed by the
+        input-value tuple, or ``None`` when the table would exceed
+        ``limit`` entries.  Entries are literal ``eval3`` results, so the
+        table is exact for every node type by construction.
+        """
+        size = 1
+        for domain in domains:
+            size *= len(domain) + 1
+            if size > limit:
+                return None
+        axes = [tuple(domain) + (None,) for domain in domains]
+        return {
+            combo: self.eval3(combo) for combo in itertools.product(*axes)
+        }
+
 
 class ConstNode(ControlNode):
     """A constant output; has no inputs and can never be backtraced."""

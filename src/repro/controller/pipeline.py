@@ -290,6 +290,18 @@ class UnrolledController:
             raise ValueError(f"frame {frame} outside 0..{self.n_frames - 1}")
         return instance_name(frame, signal)
 
+    def compiled(self):
+        """The compiled (dense-id, flat-array) form of the unrolled
+        network; built once and cached on the network."""
+        return self.network.compiled()
+
+    def session(self, base_assignment: dict[str, int] | None = None):
+        """A fresh incremental :class:`ImplicationSession` over this
+        unrolled controller."""
+        from repro.controller.implication import ImplicationSession
+
+        return ImplicationSession(self.compiled(), base_assignment)
+
     def frame_and_signal(self, instance: str) -> tuple[int, str]:
         frame, _, signal = instance.partition(":")
         return int(frame), signal

@@ -16,10 +16,20 @@ CTI and STS signal instances (the pipeframe organization of Section IV):
   compute the same value, which the implication sweep checks (justified /
   conflicting classification).
 
-Implication is the three-valued sweep of :class:`ControlNetwork`; the
-backtrace walks each node's ``backtrace_options`` until it reaches an open
-decision variable.  STS decisions are returned to the caller: the datapath
-(DPRELAX) must justify them.
+Implication runs, by default, on the event-driven
+:class:`~repro.controller.implication.ImplicationSession`: each decision
+``assume``\\ s one signal and propagates only through its fanout cone, and
+each backtrack ``retract``\\ s in O(changed) off the trail — instead of
+re-sweeping the whole unrolled network per decision.  Constructing the
+engine with ``incremental=False`` selects the original full-sweep
+implication (``ControlNetwork.consistency``), kept as the reference
+oracle; both paths share the identical search loop, so their decisions,
+backtracks and outcomes are bit-identical.
+
+The backtrace walks each node's ``backtrace_options`` (memoized in the
+compiled network) until it reaches an open decision variable.  STS
+decisions are returned to the caller: the datapath (DPRELAX) must justify
+them.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.controller.implication import ImplicationSession
 from repro.controller.pipeline import UnrolledController
 from repro.controller.signals import SignalKind
 
@@ -99,6 +110,70 @@ class JustResult:
         return out
 
 
+class _IncrementalState:
+    """Implication backend over an event-driven session (the default)."""
+
+    def __init__(self, compiled, base_assignment) -> None:
+        self.session = ImplicationSession(compiled, base_assignment)
+        #: The session doubles as the value mapping (``.get`` by name).
+        self.values = self.session
+
+    def refresh(self) -> None:
+        pass  # state is maintained eagerly by assume/retract
+
+    @property
+    def has_conflict(self) -> bool:
+        return self.session.has_conflict
+
+    def is_justified(self, name: str) -> bool:
+        return self.session.is_justified(name)
+
+    def assume(self, name: str, value: int) -> None:
+        self.session.assume(name, value)
+
+    def retract(self) -> None:
+        self.session.retract()
+
+    def snapshot(self) -> dict[str, int | None]:
+        return self.session.snapshot()
+
+
+class _FullSweepState:
+    """Reference implication backend: one full consistency sweep per query.
+
+    Reads the same ``assignment`` / ``cti_values`` dicts the search loop
+    mutates, so ``assume`` / ``retract`` have nothing to do.
+    """
+
+    def __init__(self, network, assignment, cti_values) -> None:
+        self.network = network
+        self.assignment = assignment
+        self.cti_values = cti_values
+        self.values: dict[str, int | None] = {}
+        self._justified: set[str] = set()
+        self.has_conflict = False
+
+    def refresh(self) -> None:
+        values, justified, conflicting = self.network.consistency(
+            self.assignment, self.cti_values
+        )
+        self.values = values
+        self._justified = set(justified)
+        self.has_conflict = bool(conflicting)
+
+    def is_justified(self, name: str) -> bool:
+        return name in self._justified
+
+    def assume(self, name: str, value: int) -> None:
+        pass
+
+    def retract(self) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, int | None]:
+        return self.values
+
+
 class CtrlJust:
     """PODEM justification engine over an unrolled controller."""
 
@@ -107,10 +182,13 @@ class CtrlJust:
         unrolled: UnrolledController,
         max_backtracks: int = 1000,
         variant: int = 0,
+        incremental: bool = True,
     ) -> None:
         self.unrolled = unrolled
         self.network = unrolled.network
         self.max_backtracks = max_backtracks
+        #: Event-driven implication (default) vs the full-sweep oracle.
+        self.incremental = incremental
         #: Diversification index: rotates backtrace option order so retries
         #: explore different (equally valid) justifications, e.g. a
         #: different store opcode for the same memwrite objective.
@@ -143,12 +221,15 @@ class CtrlJust:
         stack: list[JustDecision] = []
         backtracks = 0
         decision_count = 0
+        if self.incremental:
+            state = _IncrementalState(self.network.compiled(), assignment)
+        else:
+            state = _FullSweepState(self.network, assignment, cti_values)
 
         while True:
-            values, justified, conflicting = self.network.consistency(
-                assignment, cti_values
-            )
-            conflict = bool(conflicting)
+            state.refresh()
+            values = state.values
+            conflict = state.has_conflict
             open_objectives: list[tuple[str, int]] = []
             if not conflict:
                 for inst, want in objectives:
@@ -162,14 +243,14 @@ class CtrlJust:
                 unjustified = [
                     (inst, cti_values[inst])
                     for inst in cti_values
-                    if inst not in justified
+                    if not state.is_justified(inst)
                 ]
                 if not open_objectives and not unjustified:
                     return JustResult(
                         JustStatus.SUCCESS,
                         assignment=dict(assignment),
                         cti_values=dict(cti_values),
-                        implied=values,
+                        implied=state.snapshot(),
                         backtracks=backtracks,
                         decisions=decision_count,
                     )
@@ -181,42 +262,49 @@ class CtrlJust:
                     if decision is not None:
                         break
                 if decision is not None:
-                    self._apply(decision, assignment, cti_values)
+                    self._apply(decision, assignment, cti_values, state)
                     stack.append(decision)
                     decision_count += 1
                     continue
                 conflict = True  # no way to make progress
-            # Backtrack.
+            # Backtrack.  The budget is enforced per unwind step, so one
+            # exhausted deep stack cannot blow far past the limit before
+            # the overrun is noticed.
             while stack:
                 last = stack[-1]
-                self._unapply(last, assignment, cti_values)
+                self._unapply(last, assignment, cti_values, state)
                 backtracks += 1
+                if backtracks > self.max_backtracks:
+                    return JustResult(JustStatus.FAILURE,
+                                      backtracks=backtracks,
+                                      decisions=decision_count)
                 if last.alternatives:
                     last.value = last.alternatives.pop(0)
-                    self._apply(last, assignment, cti_values)
+                    self._apply(last, assignment, cti_values, state)
                     break
                 stack.pop()
             else:
-                return JustResult(JustStatus.FAILURE, backtracks=backtracks,
-                                  decisions=decision_count)
-            if backtracks > self.max_backtracks:
                 return JustResult(JustStatus.FAILURE, backtracks=backtracks,
                                   decisions=decision_count)
 
     # ------------------------------------------------------------------
     # Decision bookkeeping
     # ------------------------------------------------------------------
-    def _apply(self, decision: JustDecision, assignment, cti_values) -> None:
+    def _apply(self, decision: JustDecision, assignment, cti_values,
+               state) -> None:
         if decision.is_cti:
             cti_values[decision.signal] = decision.value
         else:
             assignment[decision.signal] = decision.value
+        state.assume(decision.signal, decision.value)
 
-    def _unapply(self, decision: JustDecision, assignment, cti_values) -> None:
+    def _unapply(self, decision: JustDecision, assignment, cti_values,
+                 state) -> None:
         if decision.is_cti:
             cti_values.pop(decision.signal, None)
         else:
             assignment.pop(decision.signal, None)
+        state.retract()
 
     # ------------------------------------------------------------------
     # Backtrace
@@ -225,38 +313,48 @@ class CtrlJust:
         self,
         inst: str,
         target: int,
-        values: dict[str, int | None],
+        values,
         assignment: dict[str, int],
         cti_values: dict[str, int],
-        _depth: int = 0,
     ) -> JustDecision | None:
-        """Walk from an objective to an open decision variable."""
-        if _depth > 10_000:  # pragma: no cover - defensive
-            return None
-        if inst in self._decidable and self._open(inst, assignment, cti_values):
-            domain = list(self.network.signal(inst).domain)
-            if target not in domain:
-                return None
-            alternatives = [v for v in domain if v != target]
-            return JustDecision(
-                inst, target, alternatives, is_cti=inst in self._cti
+        """Walk from an objective to an open decision variable.
+
+        Depth-first over each node's (memoized) ``backtrace_options``,
+        with an explicit stack: unrolled networks produce walks deeper
+        than Python's recursion limit.
+        """
+        compiled = self.network.compiled()
+        drivers = self.network.drivers
+        stack = [iter(((inst, target),))]
+        while stack:
+            entry = next(stack[-1], None)
+            if entry is None:
+                stack.pop()
+                continue
+            inst, target = entry
+            if inst in self._decidable and self._open(
+                inst, assignment, cti_values
+            ):
+                domain = self.network.signal(inst).domain
+                if target not in domain:
+                    continue  # infeasible: try the next option
+                alternatives = [v for v in domain if v != target]
+                return JustDecision(
+                    inst, target, alternatives, is_cti=inst in self._cti
+                )
+            node = drivers.get(inst)
+            if node is None:
+                continue  # an already-assigned external: cannot help
+            input_values = tuple(values.get(i) for i in node.inputs)
+            options = compiled.backtrace_options(
+                compiled.index[inst], target, input_values
             )
-        node = self.network.drivers.get(inst)
-        if node is None:
-            return None  # an already-assigned external: cannot help
-        input_values = [values.get(i) for i in node.inputs]
-        domains = self.network.domains_of(node)
-        options = node.backtrace_options(target, input_values, domains)
-        if self.variant and len(options) > 1:
-            shift = self.variant % len(options)
-            options = options[shift:] + options[:shift]
-        for index, want in options:
-            decision = self._backtrace(
-                node.inputs[index], want, values, assignment, cti_values,
-                _depth + 1,
+            if self.variant and len(options) > 1:
+                shift = self.variant % len(options)
+                options = options[shift:] + options[:shift]
+            stack.append(
+                iter([(node.inputs[index], want) for index, want in options])
             )
-            if decision is not None:
-                return decision
         return None
 
     def _open(self, inst: str, assignment, cti_values) -> bool:

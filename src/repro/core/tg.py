@@ -23,6 +23,7 @@ mode-exercising heuristics of Section V.B.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from repro.controller.pipeline import UnrolledController
@@ -31,7 +32,12 @@ from repro.core.dprelax import DiscreteRelaxer
 from repro.core.dptrace import DPTrace, TraceStatus
 from repro.errors.models import DesignError
 from repro.model.processor import Processor
-from repro.verify.cosim import CosimError, ProcessorSimulator, traces_diverge
+from repro.verify.cosim import (
+    CosimError,
+    GoldenTraceCache,
+    ProcessorSimulator,
+    traces_diverge,
+)
 
 #: Seed patterns tried on free data inputs when exposure fails (masking).
 #: The mix includes byte-distinct patterns (0x67452301, 0x0F1E2D3C) so that
@@ -88,6 +94,13 @@ class TGResult:
     #: counts 50 backtracks across all detected errors — the effort of the
     #: final searches, not of the failed exploration rounds).
     final_backtracks: int = 0
+    #: CPU seconds per engine phase ("dptrace", "ctrljust", "dprelax",
+    #: "cosim"), measured with ``time.process_time()``.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Golden-trace cache traffic for this error: exposure checks served
+    #: from the cache vs fault-free simulations actually run.
+    golden_hits: int = 0
+    golden_misses: int = 0
 
 
 @dataclass
@@ -114,10 +127,18 @@ class TestGenerator:
     #: Optional processor-specific divergence check ``(processor, good,
     #: bad) -> (cycle, net) | None``; defaults to raw DPO comparison.
     exposure_comparator: object | None = None
+    #: Event-driven incremental implication in CTRLJUST (the default);
+    #: ``False`` selects the full-sweep reference oracle.
+    use_incremental_implication: bool = True
 
     _analyzers: dict[int, object] = field(default_factory=dict, repr=False)
     _unrolled: dict[int, UnrolledController] = field(
         default_factory=dict, repr=False
+    )
+    #: Fault-free traces shared across errors, seeds and variants: the
+    #: golden half of the exposure check depends only on the stimulus.
+    _golden: GoldenTraceCache = field(
+        default_factory=GoldenTraceCache, repr=False
     )
 
     def __post_init__(self) -> None:
@@ -146,33 +167,37 @@ class TestGenerator:
     # ------------------------------------------------------------------
     def generate(self, error: DesignError) -> TGResult:
         """Generate (and verify by co-simulation) a test for ``error``."""
-        import time
-
         started = time.process_time()
         site = self._site_net(error)
         result = TGResult(TGStatus.ABORTED, error=error.describe())
         discouraged: set = set()
-        for n_frames in range(self.min_frames, self.max_frames + 1):
-            for act_frame in range(n_frames - 1, -1, -1):
-                if (
-                    self.deadline_seconds is not None
-                    and time.process_time() - started > self.deadline_seconds
-                ):
-                    return result
-                result.attempts += 1
-                for jv in range(self.justify_variants):
-                    test = self._attempt(
-                        error, site, n_frames, act_frame, result,
-                        discouraged, jv,
-                    )
-                    if test is not None:
-                        result.status = TGStatus.DETECTED
-                        result.test = test
-                        result.frames_used = n_frames
+        base_hits, base_misses = self._golden.hits, self._golden.misses
+        try:
+            for n_frames in range(self.min_frames, self.max_frames + 1):
+                for act_frame in range(n_frames - 1, -1, -1):
+                    if (
+                        self.deadline_seconds is not None
+                        and time.process_time() - started
+                        > self.deadline_seconds
+                    ):
                         return result
-                    if jv == 0 and not self._had_justification(result):
-                        break  # variants only help when a path justified
-        return result
+                    result.attempts += 1
+                    for jv in range(self.justify_variants):
+                        test = self._attempt(
+                            error, site, n_frames, act_frame, result,
+                            discouraged, jv,
+                        )
+                        if test is not None:
+                            result.status = TGStatus.DETECTED
+                            result.test = test
+                            result.frames_used = n_frames
+                            return result
+                        if jv == 0 and not self._had_justification(result):
+                            break  # variants only help when a path justified
+            return result
+        finally:
+            result.golden_hits = self._golden.hits - base_hits
+            result.golden_misses = self._golden.misses - base_misses
 
     def _had_justification(self, result: TGResult) -> bool:
         return getattr(self, "_last_attempt_justified", False)
@@ -216,7 +241,9 @@ class TestGenerator:
                 discouraged=discouraged,
                 variant=variant,
             )
+            phase_start = time.process_time()
             trace = tracer.select_paths(site, act_frame)
+            self._phase(result, "dptrace", phase_start)
             result.dptrace_backtracks += trace.backtracks
             if trace.status is not TraceStatus.SUCCESS:
                 break  # keep the last consistent pair, if any
@@ -232,19 +259,24 @@ class TestGenerator:
             engine = CtrlJust(
                 unrolled, max_backtracks=self.ctrljust_backtrack_limit,
                 variant=justify_variant,
+                incremental=self.use_incremental_implication,
             )
+            phase_start = time.process_time()
             just = engine.justify(objectives)
+            self._phase(result, "ctrljust", phase_start)
             result.ctrljust_backtracks += just.backtracks
             result.backtracks += just.backtracks
             if just.status is not JustStatus.SUCCESS:
                 # Find which decision actually breaks justifiability and
                 # discourage only that one; then re-select on a rotated
                 # ordering from a clean slate.
+                phase_start = time.process_time()
                 for item in self._blame(
                     unrolled, trace.ctrl_objectives, justify_variant,
                     set(trace.control_side),
                 ):
                     discouraged.add(item)
+                self._phase(result, "ctrljust", phase_start)
                 accumulated = {}
                 implied_ctrl = {}
                 variant += 1
@@ -302,7 +334,9 @@ class TestGenerator:
                                 frame, net.name,
                                 pattern & ((1 << net.width) - 1),
                             )
+            phase_start = time.process_time()
             relax = relaxer.relax()
+            self._phase(result, "dprelax", phase_start)
             result.relax_events += relax.events
             if not relax.converged:
                 unactivated = any(
@@ -338,7 +372,9 @@ class TestGenerator:
             test = self._build_test(
                 error, act_frame, n_frames, cpi_frames, relax, decided_cpi
             )
+            phase_start = time.process_time()
             divergence = self._exposure_check(error, test)
+            self._phase(result, "cosim", phase_start)
             if divergence is not None:
                 test.observation = divergence
                 return test
@@ -351,6 +387,13 @@ class TestGenerator:
             for item in control_side_acc:
                 discouraged.add(item)
         return None
+
+    def _phase(self, result: TGResult, phase: str, started: float) -> None:
+        """Fold CPU time since ``started`` into a phase bucket."""
+        elapsed = time.process_time() - started
+        result.phase_seconds[phase] = (
+            result.phase_seconds.get(phase, 0.0) + elapsed
+        )
 
     def _blame(
         self,
@@ -375,6 +418,7 @@ class TestGenerator:
                 unrolled,
                 max_backtracks=max(200, self.ctrljust_backtrack_limit // 4),
                 variant=justify_variant,
+                incremental=self.use_incremental_implication,
             )
             return engine.justify(instances).status is JustStatus.SUCCESS
 
@@ -441,16 +485,21 @@ class TestGenerator:
         self, error: DesignError, test: TestCase
     ) -> tuple[int, str] | None:
         try:
-            good_sim = ProcessorSimulator(self.processor)
+            # The fault-free half depends only on the stimulus, so it is
+            # served from the golden-trace cache: across the unmask-seed /
+            # justify-variant exposure loop (and across errors) each
+            # distinct candidate stimulus is simulated once.
+            good = self._golden.trace(
+                self.processor, test.stimulus_state,
+                test.cpi_frames, test.dpi_frames,
+            )
             bad_sim = error.attach(self.processor.datapath)
             bad_cosim = ProcessorSimulator(
                 self.processor,
                 injector=bad_sim.injector,
                 module_overrides=bad_sim.module_overrides,
             )
-            good_sim.set_stimulus_state(test.stimulus_state)
             bad_cosim.set_stimulus_state(test.stimulus_state)
-            good = good_sim.run(test.cpi_frames, test.dpi_frames)
             bad = bad_cosim.run(test.cpi_frames, test.dpi_frames)
         except CosimError:
             return None

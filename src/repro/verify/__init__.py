@@ -3,15 +3,19 @@
 from repro.verify.cosim import (
     CosimError,
     CycleTrace,
+    GoldenTraceCache,
     ProcessorSimulator,
     Trace,
+    stimulus_key,
     traces_diverge,
 )
 
 __all__ = [
     "CosimError",
     "CycleTrace",
+    "GoldenTraceCache",
     "ProcessorSimulator",
     "Trace",
+    "stimulus_key",
     "traces_diverge",
 ]

@@ -202,6 +202,64 @@ class ProcessorSimulator:
             self.dp_sim.state[name] = value
 
 
+def stimulus_key(
+    stimulus_state: Mapping[str, int],
+    cpi_frames: list[Mapping[str, int]],
+    dpi_frames: list[Mapping[str, int]],
+) -> tuple:
+    """A hashable identity for one complete stimulus.
+
+    Two stimuli with the same key drive the fault-free machine through the
+    same trace, whatever error is being targeted.
+    """
+    return (
+        tuple(sorted(stimulus_state.items())),
+        tuple(tuple(sorted(frame.items())) for frame in cpi_frames),
+        tuple(tuple(sorted(frame.items())) for frame in dpi_frames),
+    )
+
+
+class GoldenTraceCache:
+    """Bounded memo of fault-free simulation traces, keyed by stimulus.
+
+    The TG exposure loop re-checks many candidate tests whose stimulus is
+    identical across unmask seeds and justify variants — and the fault-free
+    ("golden") half of every co-simulation depends only on the stimulus,
+    never on the error.  Caching it simulates the good machine once per
+    distinct candidate stimulus.  Traces are value objects: callers must
+    not mutate a cached trace.  Eviction is LRU with a bounded entry count.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._traces: dict[tuple, Trace] = {}
+
+    def trace(
+        self,
+        processor: Processor,
+        stimulus_state: Mapping[str, int],
+        cpi_frames: list[Mapping[str, int]],
+        dpi_frames: list[Mapping[str, int]],
+    ) -> Trace:
+        """The fault-free trace for this stimulus (simulating on a miss)."""
+        key = stimulus_key(stimulus_state, cpi_frames, dpi_frames)
+        cached = self._traces.pop(key, None)
+        if cached is not None:
+            self.hits += 1
+            self._traces[key] = cached  # re-insert: most recently used
+            return cached
+        self.misses += 1
+        simulator = ProcessorSimulator(processor)
+        simulator.set_stimulus_state(stimulus_state)
+        trace = simulator.run(cpi_frames, dpi_frames)
+        self._traces[key] = trace
+        while len(self._traces) > self.max_entries:
+            self._traces.pop(next(iter(self._traces)))
+        return trace
+
+
 def traces_diverge(
     processor: Processor, good: Trace, bad: Trace
 ) -> tuple[int, str] | None:

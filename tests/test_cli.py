@@ -67,6 +67,33 @@ def test_minipipe_command_with_orchestration_flags(tmp_path, capsys):
     assert not any(e["kind"] == "error-started" for e in data2["events"])
 
 
+def test_minipipe_profile_flag(tmp_path, capsys):
+    from repro.campaign.serialize import load_json
+
+    out = tmp_path / "run.json"
+    assert main(["minipipe", "--sample", "40", "--profile",
+                 "--json", str(out)]) == 0
+    capsys.readouterr()
+    data = load_json(str(out))
+    events = data["events"]
+    n_errors = len(data["report"]["outcomes"])
+    profiles = [e for e in events if e["kind"] == "error-profile"]
+    assert len(profiles) == n_errors
+    for event in profiles:
+        assert set(event["data"]["phase_seconds"]) <= {
+            "dptrace", "ctrljust", "dprelax", "cosim"}
+        assert event["data"]["golden_misses"] >= 0
+    summaries = [e for e in events if e["kind"] == "profile-summary"]
+    assert len(summaries) == 1
+    summary = summaries[0]["data"]
+    assert summary["golden_hits"] + summary["golden_misses"] >= n_errors
+    # The summary is the per-error sum.
+    for phase, total in summary["phase_seconds"].items():
+        per_error = sum(e["data"]["phase_seconds"].get(phase, 0.0)
+                        for e in profiles)
+        assert total == pytest.approx(per_error)
+
+
 def test_minipipe_dropping_flag(capsys):
     assert main(["minipipe", "--sample", "40", "--dropping"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,297 @@
+"""Differential tests for the incremental implication engine.
+
+The contract of :class:`ImplicationSession` is exact equivalence with the
+full-sweep oracle: after any sequence of ``assume``/``retract`` operations
+the session's values and justified / conflicting classifications must be
+bit-identical to a fresh ``ControlNetwork.consistency`` sweep over the
+same assignment and overrides.  The tests below drive random operation
+sequences on the two-stage toy, the MiniPipe controller, and the DLX
+controller, and additionally demand that CTRLJUST reaches bit-identical
+outcomes (status, assignment, CTI values, implied values, backtracks,
+decisions) through the incremental and full-sweep backends.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.implication import CompiledNetwork, ImplicationSession
+from repro.controller.nodes import BufNode, InSetNode, NotNode
+from repro.controller.pipeline import PipelinedController, PipeRegister
+from repro.controller.signals import SignalKind, bit_signal, field_signal
+from repro.core.ctrljust import CtrlJust, JustStatus
+from repro.dlx.controller import build_dlx_controller
+from repro.mini.machine import build_minipipe_controller
+from tests.test_controller_network import build_two_stage
+
+
+@lru_cache(maxsize=None)
+def _unrolled(which: str, n_frames: int):
+    builder = {
+        "two_stage": build_two_stage,
+        "mini": build_minipipe_controller,
+        "dlx": build_dlx_controller,
+    }[which]
+    return builder().unroll(n_frames)
+
+
+def _mirror(unrolled, stack):
+    """Split the mirrored decision stack into (assignment, overrides)."""
+    compiled = unrolled.compiled()
+    assignment: dict[str, int] = {}
+    overrides: dict[str, int] = {}
+    for name, value in stack:
+        if compiled.is_driven[compiled.index[name]]:
+            overrides[name] = value
+        else:
+            assignment[name] = value
+    return assignment, overrides
+
+
+def _assert_matches_oracle(unrolled, session, stack):
+    assignment, overrides = _mirror(unrolled, stack)
+    values, justified, conflicting = unrolled.network.consistency(
+        assignment, overrides
+    )
+    assert session.snapshot() == values
+    assert session.justified_names == set(justified)
+    assert session.conflicting_names == set(conflicting)
+    assert session.has_conflict == bool(conflicting)
+    assert session.depth == len(stack)
+
+
+def _random_walk(unrolled, rng, n_ops, check_every=1):
+    """Drive a random assume/retract sequence, checking against the
+    oracle every ``check_every`` operations and once at the end."""
+    decisions = unrolled.decision_instances()
+    signals = unrolled.network.signals
+    session = unrolled.session()
+    stack = []
+    for op in range(n_ops):
+        if stack and rng.random() < 0.4:
+            session.retract()
+            stack.pop()
+        else:
+            name = rng.choice(decisions)
+            value = rng.choice(signals[name].domain)
+            session.assume(name, value)
+            stack.append((name, value))
+        if (op + 1) % check_every == 0:
+            _assert_matches_oracle(unrolled, session, stack)
+    _assert_matches_oracle(unrolled, session, stack)
+    # Rewinding the whole trail restores the empty-assignment fixpoint.
+    while stack:
+        session.retract()
+        stack.pop()
+    _assert_matches_oracle(unrolled, session, stack)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_two_stage_session_matches_full_sweep(seed):
+    _random_walk(_unrolled("two_stage", 4), random.Random(seed), n_ops=30)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_minipipe_session_matches_full_sweep(seed):
+    _random_walk(_unrolled("mini", 4), random.Random(seed), n_ops=25)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_dlx_session_matches_full_sweep(seed):
+    # The DLX full sweep is the expensive side; check every 4th op.
+    _random_walk(
+        _unrolled("dlx", 4), random.Random(seed), n_ops=16, check_every=4
+    )
+
+
+def test_assume_same_signal_twice_then_retract():
+    unrolled = _unrolled("two_stage", 4)
+    session = unrolled.session()
+    session.assume("1:op", 2)
+    session.assume("1:op", 0)
+    _assert_matches_oracle(unrolled, session, [("1:op", 2), ("1:op", 0)])
+    session.retract()
+    _assert_matches_oracle(unrolled, session, [("1:op", 2)])
+    session.retract()
+    _assert_matches_oracle(unrolled, session, [])
+
+
+def test_cut_cti_classification_transitions():
+    # Cutting stall@2 to 1 is open until the cone justifies or refutes it.
+    unrolled = _unrolled("two_stage", 4)
+    session = unrolled.session()
+    session.assume("2:stall", 1)
+    assert not session.is_justified("2:stall")
+    assert not session.has_conflict
+    session.assume("0:op", 0)  # no load at frame 0: no stall at frame 1
+    assert not session.is_justified("2:stall")  # frame-1 op still X
+    session.assume("1:op", 2)  # load at frame 1 -> is_load_ex@2 = 1
+    assert session.is_justified("2:stall")
+    assert session.justified_names == {"2:stall"}
+    session.retract()
+    session.assume("1:op", 0)  # non-load -> cone computes 0, decided 1
+    assert session.conflicting_names == {"2:stall"}
+    assert session.has_conflict
+    session.retract()
+    assert not session.has_conflict
+    assert not session.is_justified("2:stall")
+
+
+def test_retract_without_assume_raises():
+    session = _unrolled("two_stage", 4).session()
+    with pytest.raises(IndexError):
+        session.retract()
+
+
+def test_base_assignment_seeds_externals():
+    unrolled = _unrolled("two_stage", 4)
+    session = unrolled.session({"1:op": 2})
+    oracle = unrolled.network.evaluate({"1:op": 2})
+    assert session.snapshot() == oracle
+    assert session.value("1:is_load") == 1
+
+
+def test_compiled_network_levels_and_fanout():
+    unrolled = _unrolled("two_stage", 4)
+    compiled = unrolled.compiled()
+    assert isinstance(compiled, CompiledNetwork)
+    # Compilation is cached on the network.
+    assert unrolled.compiled() is compiled
+    # Levels strictly increase along every driven edge.
+    for out in compiled.topo_ids:
+        for i in compiled.inputs_of[out]:
+            assert compiled.level[i] < compiled.level[out]
+            assert out in compiled.fanout[i]
+    # Externals sit at level 0 and have no driver.
+    for i in compiled.external_ids:
+        assert compiled.level[i] == 0
+        assert compiled.node_of[i] is None
+
+
+def test_sweep_matches_evaluate_with_unknown_override():
+    # evaluate historically ignored override names absent from the
+    # network; the compiled sweep must preserve that.
+    unrolled = _unrolled("two_stage", 4)
+    values = unrolled.network.evaluate(
+        {"1:op": 3}, {"2:stall": 1, "no_such_signal": 1}
+    )
+    assert values["2:stall"] == 1
+    assert "no_such_signal" not in values
+
+
+# ----------------------------------------------------------------------
+# CTRLJUST backend identity: incremental vs full-sweep reference
+# ----------------------------------------------------------------------
+def _result_tuple(result):
+    return (
+        result.status,
+        result.assignment,
+        result.cti_values,
+        result.implied,
+        result.backtracks,
+        result.decisions,
+    )
+
+
+def _assert_backends_identical(unrolled, objectives, **kwargs):
+    fast = CtrlJust(unrolled, incremental=True, **kwargs).justify(objectives)
+    slow = CtrlJust(unrolled, incremental=False, **kwargs).justify(objectives)
+    assert _result_tuple(fast) == _result_tuple(slow)
+    return fast
+
+
+@pytest.mark.parametrize("objectives", [
+    [],
+    [("2:write_en", 1)],
+    [("2:write_en", 0)],
+    [("0:write_en", 1)],
+    [("2:write_en", 1), ("2:stall", 0)],
+    [("2:stall", 1), ("3:stall", 1)],
+    [("3:stall", 1)],
+])
+def test_two_stage_backends_identical(objectives):
+    _assert_backends_identical(_unrolled("two_stage", 4), objectives)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_minipipe_backends_identical_random_objectives(seed):
+    rng = random.Random(seed)
+    unrolled = _unrolled("mini", 5)
+    signals = unrolled.network.signals
+    candidates = [
+        name for name, sig in signals.items()
+        if sig.kind in (SignalKind.CTRL, SignalKind.CTI) and
+        name in unrolled.network.drivers
+    ]
+    objectives = []
+    for name in rng.sample(candidates, rng.randint(1, 3)):
+        objectives.append((name, rng.choice(signals[name].domain)))
+    _assert_backends_identical(unrolled, objectives)
+
+
+@pytest.mark.parametrize("objectives", [
+    [("4:regwrite_g_ctl", 1)],
+    [("4:memwrite_ctl", 1)],
+    [("3:stall", 1)],
+    [("4:regwrite_g_ctl", 1), ("3:stall", 1)],
+])
+def test_dlx_backends_identical(objectives):
+    _assert_backends_identical(_unrolled("dlx", 5), objectives)
+
+
+def test_backtrack_budget_enforced_inside_loop():
+    # These objectives are satisfiable after 6 backtracks; a budget of 1
+    # must stop the search as soon as the count passes max_backtracks
+    # (inside the backtrack loop), not only at the next decision.
+    unrolled = _unrolled("mini", 5)
+    objectives = [("1:squash", 1), ("1:alusrc", 0)]
+    for incremental in (True, False):
+        full = CtrlJust(unrolled, incremental=incremental)
+        assert full.justify(objectives).status is JustStatus.SUCCESS
+        tiny = CtrlJust(unrolled, max_backtracks=1,
+                        incremental=incremental)
+        result = tiny.justify(objectives)
+        assert result.status is JustStatus.FAILURE
+        assert result.backtracks == 2  # budget + the overflowing attempt
+
+
+def _deep_chain_controller(depth: int) -> PipelinedController:
+    ctl = PipelinedController("deep_chain", n_stages=2)
+    ctl.add_signal(field_signal("op", (0, 1, 2, 3), SignalKind.CPI, stage=0))
+    ctl.add_signal(bit_signal("is_load", stage=0))
+    ctl.drive("is_load", InSetNode("op", {2, 3}))
+    previous = "is_load"
+    for k in range(depth):
+        name = f"chain{k}"
+        ctl.add_signal(bit_signal(name, stage=0))
+        ctl.drive(name, BufNode(previous) if k % 2 else NotNode(previous))
+        previous = name
+    ctl.add_signal(bit_signal("deep_out", SignalKind.CTRL, stage=0))
+    ctl.drive("deep_out", BufNode(previous))
+    ctl.validate()
+    return ctl
+
+
+def test_deep_network_no_recursion_limit():
+    # A combinational chain far deeper than CPython's recursion limit:
+    # topological_order and the CTRLJUST backtrace must both be iterative.
+    depth = 3000
+    unrolled = _deep_chain_controller(depth).unroll(1)
+    order = unrolled.network.topological_order()
+    assert len(order) == len(unrolled.network.drivers)
+    inverted = ((depth + 1) // 2) % 2  # NOT stages sit at even positions
+    result = CtrlJust(unrolled).justify([("0:deep_out", 1)])
+    assert result.status is JustStatus.SUCCESS
+    assert result.assignment["0:op"] in ((0, 1) if inverted else (2, 3))
+    session = unrolled.session()
+    session.assume("0:op", 2)  # a load: is_load = 1
+    assert session.value("0:deep_out") == (0 if inverted else 1)
+    session.retract()
+    assert session.value("0:deep_out") is None

@@ -71,3 +71,42 @@ def test_tg_caches_window_structures(processor):
     # Same windows reused, not rebuilt.
     for k, v in analyzers_before.items():
         assert generator._analyzers[k] is v
+
+
+def test_tg_records_phase_timings_and_golden_stats(processor):
+    generator = TestGenerator(processor)
+    result = generator.generate(BusSSLError("alu_mux.y", 0, 0))
+    assert result.status is TGStatus.DETECTED
+    assert set(result.phase_seconds) <= {"dptrace", "ctrljust",
+                                         "dprelax", "cosim"}
+    assert "dptrace" in result.phase_seconds
+    assert all(v >= 0.0 for v in result.phase_seconds.values())
+    # Every exposure check is either a golden-cache hit or a fault-free
+    # simulation; the first run must have simulated at least once.
+    assert result.golden_misses >= 1
+    assert result.golden_hits >= 0
+
+
+def test_tg_golden_cache_shared_across_errors(processor):
+    """Re-targeting an error re-proposes the same candidate stimuli, so
+    the fault-free machine is simulated once per distinct stimulus."""
+    generator = TestGenerator(processor)
+    first = generator.generate(BusSSLError("alu_mux.y", 0, 0))
+    second = generator.generate(BusSSLError("alu_mux.y", 0, 0))
+    assert second.status is first.status
+    assert second.golden_misses == 0
+    assert second.golden_hits >= 1
+
+
+def test_tg_full_sweep_backend_matches_incremental(processor):
+    for error in (BusSSLError("alu_mux.y", 2, 1), BusSSLError("eq", 0, 0)):
+        fast = TestGenerator(processor).generate(error)
+        slow = TestGenerator(
+            processor, use_incremental_implication=False
+        ).generate(error)
+        assert slow.status is fast.status
+        assert slow.backtracks == fast.backtracks
+        assert slow.attempts == fast.attempts
+        if fast.status is TGStatus.DETECTED:
+            assert slow.test.cpi_frames == fast.test.cpi_frames
+            assert slow.test.stimulus_state == fast.test.stimulus_state

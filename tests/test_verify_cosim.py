@@ -5,6 +5,7 @@ import pytest
 from repro.errors import BusSSLError
 from repro.mini import Instruction, build_minipipe, to_cpi
 from repro.verify import CosimError, ProcessorSimulator, traces_diverge
+from repro.verify.cosim import GoldenTraceCache, stimulus_key
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +89,53 @@ def test_traces_diverge_detects_difference(processor):
     cycle, net = divergence
     assert net == "out"
     assert cycle == 2  # ADDI reaches write-back two cycles later
+
+
+def _stimulus(imm):
+    program = [Instruction("ADDI", rs1=0, rd=1, imm=imm)]
+    cpi = [to_cpi(i) for i in program] + [to_cpi(Instruction("NOP"))] * 3
+    dpi = [{"rf_a": 0, "rf_b": 0, "imm": i.imm} for i in program]
+    dpi += [{"rf_a": 0, "rf_b": 0, "imm": 0}] * 3
+    return cpi, dpi
+
+
+def test_stimulus_key_is_order_insensitive():
+    cpi, dpi = _stimulus(4)
+    key = stimulus_key({"ex_a": 1, "ex_b": 2}, cpi, dpi)
+    assert key == stimulus_key({"ex_b": 2, "ex_a": 1}, cpi, dpi)
+    assert key != stimulus_key({"ex_a": 1, "ex_b": 3}, cpi, dpi)
+    assert key != stimulus_key({"ex_a": 1, "ex_b": 2}, cpi, dpi[:-1])
+
+
+def test_golden_cache_simulates_once_per_stimulus(processor):
+    cpi, dpi = _stimulus(4)
+    cache = GoldenTraceCache()
+    first = cache.trace(processor, {}, cpi, dpi)
+    again = cache.trace(processor, {}, cpi, dpi)
+    assert again is first
+    assert (cache.hits, cache.misses) == (1, 1)
+    # The cached trace equals a fresh, uncached simulation.
+    fresh = ProcessorSimulator(processor).run(cpi, dpi)
+    assert [c.datapath for c in first.cycles] == \
+        [c.datapath for c in fresh.cycles]
+    # A different stimulus misses.
+    cpi2, dpi2 = _stimulus(9)
+    cache.trace(processor, {}, cpi2, dpi2)
+    assert (cache.hits, cache.misses) == (1, 2)
+
+
+def test_golden_cache_lru_eviction(processor):
+    cache = GoldenTraceCache(max_entries=2)
+    stimuli = [_stimulus(imm) for imm in (1, 2, 3)]
+    for cpi, dpi in stimuli:
+        cache.trace(processor, {}, cpi, dpi)
+    assert len(cache._traces) == 2
+    # Stimulus 1 was evicted (least recently used); 2 and 3 still hit.
+    cache.trace(processor, {}, *stimuli[1])
+    cache.trace(processor, {}, *stimuli[2])
+    assert cache.hits == 2
+    cache.trace(processor, {}, *stimuli[0])
+    assert cache.misses == 4
 
 
 def test_traces_identical_when_error_inactive(processor):
