@@ -8,6 +8,10 @@ Commands:
 * ``generate NET BIT STUCK``    — generate a test for one bus SSL error
 * ``minipipe [--sample N] [--dropping] [--jobs N] [--checkpoint PATH]
   [--resume] [--json OUT]``     — run the MiniPipe campaign
+* ``fuzz [--machine M] [--iters N] [--seed S] [--jobs N] [--budget 60s]
+  [--plant SPEC] [--matrix] [--baseline PATH] [--report-dir DIR]``
+  — differential fuzzing of the spec-vs-implementation oracle and/or the
+  error-model conformance matrix (see ``docs/FUZZING.md``)
 
 Campaign flags (``table1`` and ``minipipe``):
 
@@ -32,6 +36,7 @@ summary.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -156,6 +161,133 @@ def cmd_generate(args) -> int:
     return 0 if ok else 1
 
 
+def _parse_budget(text: str) -> float:
+    """Parse a wall-clock budget: '45', '60s', '2m', '1.5h'."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0}
+    scale = units.get(text[-1:].lower())
+    number = text[:-1] if scale else text
+    scale = scale or 1.0
+    try:
+        seconds = float(number) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad budget {text!r} (want e.g. 45, 60s, 2m, 1.5h)"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return seconds
+
+
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.campaign.events import EventLog, EventStream, ProgressRenderer
+    from repro.campaign.serialize import save_json
+    from repro.fuzz import (
+        FuzzConfig,
+        MatrixConfig,
+        compare_matrices,
+        machine_adapter,
+        matrix_artifact,
+        run_fuzz,
+        run_matrix,
+    )
+
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    events.subscribe(ProgressRenderer(sys.stderr))
+    report_dir = args.report_dir
+    os.makedirs(report_dir, exist_ok=True)
+    exit_code = 0
+
+    if not args.matrix:
+        try:
+            config = FuzzConfig(
+                machine=args.machine, iters=args.iters, seed=args.seed,
+                length=args.length, jobs=args.jobs,
+                budget_seconds=args.budget, plant=args.plant,
+                max_minimize=args.max_minimize,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            report = run_fuzz(config, events=events, report_dir=report_dir)
+        except ValueError as exc:  # e.g. a bad --plant spec
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report_path = os.path.join(report_dir, "fuzz_report.json")
+        save_json(report.to_dict(machine_adapter(args.machine).build()),
+                  report_path)
+        n = len(report.divergences)
+        if args.plant:
+            if n == 0:
+                print(f"planted {args.plant}: NOT detected in "
+                      f"{report.iterations} iterations")
+                exit_code = 1
+            else:
+                smallest = min(
+                    (m["n_instructions"] for m in report.minimized),
+                    default=None,
+                )
+                print(f"planted {args.plant}: detected in {n}/"
+                      f"{report.iterations} iterations; smallest "
+                      f"reproducer {smallest} instruction(s)")
+        elif n:
+            print(f"FUZZ FAILURE: {n} spec/implementation divergence(s) "
+                  f"in {report.iterations} iterations — minimized "
+                  f"reproducers in {report_dir}")
+            exit_code = 1
+        else:
+            print(f"fuzz[{args.machine}]: {report.iterations} iterations, "
+                  "0 divergences")
+        print(f"wrote fuzz report to {report_path}")
+
+    if args.matrix:
+        fragments = {}
+        for machine in args.matrix_machines.split(","):
+            machine = machine.strip()
+            config = MatrixConfig(
+                machine=machine, programs=args.matrix_programs,
+                length=args.length, seed=args.seed,
+                sample=args.matrix_sample,
+                max_bits_per_net=4 if machine.startswith("dlx") else None,
+            )
+            fragments[machine] = run_matrix(config, events=events)
+        artifact = matrix_artifact(fragments)
+        matrix_path = os.path.join(report_dir, "conformance_matrix.json")
+        save_json(artifact, matrix_path)
+        print(f"wrote conformance matrix to {matrix_path}")
+        if args.baseline:
+            try:
+                with open(args.baseline, encoding="utf-8") as handle:
+                    baseline = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read baseline: {exc}",
+                      file=sys.stderr)
+                return 2
+            regressions = compare_matrices(baseline, artifact)
+            if regressions:
+                print(f"MATRIX REGRESSIONS vs {args.baseline}:")
+                for line in regressions:
+                    print(f"  {line}")
+                exit_code = 1
+            else:
+                print(f"no detectability regressions vs {args.baseline}")
+
+    if args.json:
+        try:
+            save_json({"kind": "fuzz-run",
+                       "events": log.to_dicts()}, args.json)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote event log to {args.json}")
+    return exit_code
+
+
 def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dropping", action="store_true",
                         help="enable error simulation / fault dropping")
@@ -196,12 +328,62 @@ def main(argv: list[str] | None = None) -> int:
     p_mini.add_argument("--deadline", type=float, default=10.0)
     _add_campaign_flags(p_mini)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing / conformance matrix for the oracle",
+    )
+    p_fuzz.add_argument("--machine", default="mini",
+                        choices=("mini", "dlx", "dlx_bp"),
+                        help="machine to fuzz (default mini)")
+    p_fuzz.add_argument("--iters", type=int, default=200,
+                        help="fuzz iterations (default 200)")
+    p_fuzz.add_argument("--seed", type=int, default=1)
+    p_fuzz.add_argument("--length", type=int, default=12,
+                        help="instructions per random program (default 12)")
+    p_fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process)")
+    p_fuzz.add_argument("--budget", type=_parse_budget, default=None,
+                        metavar="TIME",
+                        help="wall-clock budget, e.g. 60s / 2m "
+                             "(default: run all iterations)")
+    p_fuzz.add_argument("--plant", metavar="SPEC", default=None,
+                        help="plant an error model, e.g. "
+                             "bus-ssl:alu_add.y:0:1, mse:alu_add, "
+                             "boe:opa_mux — divergences become expected "
+                             "detections")
+    p_fuzz.add_argument("--max-minimize", type=int, default=5,
+                        help="minimize at most N diverging cases "
+                             "(default 5)")
+    p_fuzz.add_argument("--report-dir", metavar="DIR", default="fuzz-report",
+                        help="directory for the JSON report and minimized "
+                             "reproducers (default fuzz-report)")
+    p_fuzz.add_argument("--matrix", action="store_true",
+                        help="run the error-model conformance matrix "
+                             "instead of the differential fuzzer")
+    p_fuzz.add_argument("--matrix-machines", default="mini",
+                        metavar="M[,M...]",
+                        help="comma-separated machines for --matrix "
+                             "(default mini)")
+    p_fuzz.add_argument("--matrix-programs", type=int, default=16,
+                        help="random programs per error — the detection "
+                             "budget (default 16)")
+    p_fuzz.add_argument("--matrix-sample", type=int, default=1,
+                        help="keep every Nth enumerated error "
+                             "(default 1 = all)")
+    p_fuzz.add_argument("--baseline", metavar="PATH", default=None,
+                        help="compare the matrix against a baseline "
+                             "artifact; exit 1 on detectability "
+                             "regressions")
+    p_fuzz.add_argument("--json", metavar="OUT", default=None,
+                        help="also write the structured event log to OUT")
+
     args = parser.parse_args(argv)
     handler = {
         "stats": cmd_stats,
         "table1": cmd_table1,
         "generate": cmd_generate,
         "minipipe": cmd_minipipe,
+        "fuzz": cmd_fuzz,
     }[args.command]
     return handler(args)
 

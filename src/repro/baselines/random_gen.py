@@ -28,6 +28,21 @@ class RandomProgramConfig:
     register_pool: int = 4  # small pool -> frequent hazards
     corner_immediate_bias: float = 0.5
     seed: int = 1
+    #: Optional mnemonic -> relative weight mix; unlisted mnemonics get
+    #: weight 1.0, weight 0 removes a mnemonic entirely.  ``None`` keeps
+    #: the uniform draw.
+    opcode_weights: dict | None = None
+
+
+def _weighted_choice(rng: random.Random, mnemonics: Sequence[str],
+                     weights: dict | None) -> str:
+    if not weights:
+        return rng.choice(list(mnemonics))
+    population = [m for m in mnemonics if weights.get(m, 1.0) > 0]
+    if not population:
+        raise ValueError("opcode_weights removed every mnemonic")
+    cum = [weights.get(m, 1.0) for m in population]
+    return rng.choices(population, weights=cum, k=1)[0]
 
 
 class RandomDlxGenerator:
@@ -52,7 +67,7 @@ class RandomDlxGenerator:
 
         program = []
         for _ in range(cfg.length):
-            op = rng.choice(MNEMONIC_LIST)
+            op = _weighted_choice(rng, MNEMONIC_LIST, cfg.opcode_weights)
             program.append(
                 Instruction(
                     op, rs=reg(), rt=reg(), rd=reg(),
@@ -90,7 +105,7 @@ class RandomMiniGenerator:
 
         program = []
         for _ in range(cfg.length):
-            op = rng.choice(mnemonics)
+            op = _weighted_choice(rng, mnemonics, cfg.opcode_weights)
             program.append(
                 Instruction(
                     op,

@@ -34,6 +34,29 @@ wall-clock time):
 ``campaign-finished``
     ``n_errors``, ``n_detected``, ``n_aborted``, ``backtracks``,
     ``wall_seconds``.
+
+The differential fuzzer and conformance-matrix runner (``repro.fuzz``)
+emit their own kinds into the same stream:
+
+``fuzz-started``
+    ``machine``, ``iters``, ``seed``, ``jobs``, ``planted`` (error
+    description or ``None``).
+``fuzz-divergence``
+    ``index`` (iteration), ``mismatch`` (first differing architectural
+    item), ``planted``.
+``fuzz-minimized``
+    ``index``, ``original_length``, ``minimized_length``, ``path``
+    (emitted reproducer file, or ``None`` when not persisted).
+``fuzz-finished``
+    ``machine``, ``iterations``, ``divergences``, ``wall_seconds``,
+    ``budget_exhausted``.
+``matrix-started``
+    ``machine``, ``n_errors``, ``programs``.
+``matrix-classified``
+    ``machine``, ``error``, ``classification``, ``programs_run``.
+``matrix-finished``
+    ``machine``, ``detected``, ``undetected_by_budget``,
+    ``proven_benign``, ``wall_seconds``.
 """
 
 from __future__ import annotations
@@ -52,6 +75,13 @@ EVENT_KINDS = frozenset({
     "test-dropped-others",
     "checkpoint-written",
     "campaign-finished",
+    "fuzz-started",
+    "fuzz-divergence",
+    "fuzz-minimized",
+    "fuzz-finished",
+    "matrix-started",
+    "matrix-classified",
+    "matrix-finished",
 })
 
 
@@ -158,3 +188,34 @@ class ProgressRenderer:
             self._line(f"campaign finished: {data['n_detected']} detected, "
                        f"{data['n_aborted']} aborted "
                        f"in {data['wall_seconds']:.1f}s wall clock")
+        elif event.kind == "fuzz-started":
+            planted = (f", planted {data['planted']}"
+                       if data.get("planted") else "")
+            self._line(f"fuzz[{data['machine']}] started: "
+                       f"{data['iters']} iterations, seed {data['seed']}, "
+                       f"{data['jobs']} worker(s){planted}")
+        elif event.kind == "fuzz-divergence":
+            self._line(f"fuzz: iteration {data['index']} DIVERGED "
+                       f"({data['mismatch']})")
+        elif event.kind == "fuzz-minimized":
+            where = f" -> {data['path']}" if data.get("path") else ""
+            self._line(f"fuzz: minimized iteration {data['index']} from "
+                       f"{data['original_length']} to "
+                       f"{data['minimized_length']} instruction(s){where}")
+        elif event.kind == "fuzz-finished":
+            budget = " (budget exhausted)" if data.get(
+                "budget_exhausted") else ""
+            self._line(f"fuzz[{data['machine']}] finished: "
+                       f"{data['iterations']} iterations, "
+                       f"{data['divergences']} divergence(s) "
+                       f"in {data['wall_seconds']:.1f}s{budget}")
+        elif event.kind == "matrix-started":
+            self._line(f"matrix[{data['machine']}] started: "
+                       f"{data['n_errors']} errors, "
+                       f"{data['programs']} program(s) each")
+        elif event.kind == "matrix-finished":
+            self._line(f"matrix[{data['machine']}] finished: "
+                       f"{data['detected']} detected, "
+                       f"{data['undetected_by_budget']} undetected, "
+                       f"{data['proven_benign']} proven benign "
+                       f"in {data['wall_seconds']:.1f}s")

@@ -26,7 +26,7 @@ from repro.dlx.isa import NOP, N_REGS, WIDTH, Instruction, to_cpi
 from repro.dlx.spec import DlxSpec, DlxSpecResult, Event, Memory, _SIZE_BYTES
 from repro.model.processor import Processor
 from repro.utils.bits import mask, to_unsigned
-from repro.verify.cosim import ProcessorSimulator
+from repro.verify.cosim import ProcessorSimulator, Trace
 
 
 class DlxEnv:
@@ -48,6 +48,9 @@ class DlxEnv:
         self.branch_prediction = (
             "predict_taken" in processor.controller.network.signals
         )
+        #: Cycle-accurate co-simulation trace of the most recent ``run``
+        #: (consumed by the coverage collector in ``repro.fuzz``).
+        self.trace = Trace()
 
     # ------------------------------------------------------------------
     def _preview(self):
@@ -78,6 +81,7 @@ class DlxEnv:
                     word, WIDTH
                 )
         events: list[Event] = []
+        self.trace = Trace()
         # Predicted-taken branches skip two slots each, eating into the
         # drain; pad accordingly so in-flight instructions always retire.
         n_branches = sum(1 for i in program if i.op in ("BEQZ", "BNEZ"))
@@ -146,7 +150,7 @@ class DlxEnv:
             if mem_address is not None:
                 dpi["dmem_rdata"] = memory.read_word(mem_address)
 
-            self.sim.step(to_cpi(instruction), dpi)
+            self.trace.cycles.append(self.sim.step(to_cpi(instruction), dpi))
 
             if self.branch_prediction:
                 presented_pos = position

@@ -20,7 +20,7 @@ from repro.datapath.simulate import Injector, ModuleOverride, no_injection
 from repro.mini.isa import IMM_OPS, N_REGS, WIDTH, Instruction, to_cpi
 from repro.model.processor import Processor
 from repro.utils.bits import to_unsigned
-from repro.verify.cosim import ProcessorSimulator
+from repro.verify.cosim import ProcessorSimulator, Trace
 
 
 @dataclass
@@ -85,6 +85,9 @@ class MiniEnv:
         self.sim = ProcessorSimulator(
             processor, injector=injector, module_overrides=module_overrides
         )
+        #: Cycle-accurate co-simulation trace of the most recent ``run``
+        #: (consumed by the coverage collector in ``repro.fuzz``).
+        self.trace = Trace()
 
     def run(
         self,
@@ -102,6 +105,7 @@ class MiniEnv:
         regs = list(init_regs) if init_regs is not None else [0] * N_REGS
         regs = [to_unsigned(r, WIDTH) for r in regs]
         writes: list[tuple[int, int]] = []
+        self.trace = Trace()
         from repro.mini.isa import NOP
 
         stream = list(program) + [NOP] * drain
@@ -129,7 +133,7 @@ class MiniEnv:
                 "rf_b": regs[instruction.rs2],
                 "imm": instruction.imm,
             }
-            self.sim.step(cpi, dpi)
+            self.trace.cycles.append(self.sim.step(cpi, dpi))
         return SpecResult(writes=writes, registers=regs)
 
     def _external_names(self):

@@ -220,7 +220,8 @@ def stimulus_key(
 
 
 class GoldenTraceCache:
-    """Bounded memo of fault-free simulation traces, keyed by stimulus.
+    """Bounded memo of fault-free simulation traces, keyed by stimulus
+    *and* processor identity.
 
     The TG exposure loop re-checks many candidate tests whose stimulus is
     identical across unmask seeds and justify variants — and the fault-free
@@ -228,6 +229,13 @@ class GoldenTraceCache:
     never on the error.  Caching it simulates the good machine once per
     distinct candidate stimulus.  Traces are value objects: callers must
     not mutate a cached trace.  Eviction is LRU with a bounded entry count.
+
+    Entries carry the identity of the processor that produced them, so one
+    cache may be shared between machines (two TGs, or a TG whose processor
+    is swapped) without a stimulus that happens to be well-formed on both
+    machines returning the wrong machine's trace.  Cached processors are
+    pinned (a strong reference is kept) so a dead object's ``id`` can never
+    be reused by a different machine while its entries are alive.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -235,6 +243,7 @@ class GoldenTraceCache:
         self.hits = 0
         self.misses = 0
         self._traces: dict[tuple, Trace] = {}
+        self._pinned: dict[int, Processor] = {}
 
     def trace(
         self,
@@ -244,7 +253,11 @@ class GoldenTraceCache:
         dpi_frames: list[Mapping[str, int]],
     ) -> Trace:
         """The fault-free trace for this stimulus (simulating on a miss)."""
-        key = stimulus_key(stimulus_state, cpi_frames, dpi_frames)
+        self._pinned.setdefault(id(processor), processor)
+        key = (
+            id(processor),
+            stimulus_key(stimulus_state, cpi_frames, dpi_frames),
+        )
         cached = self._traces.pop(key, None)
         if cached is not None:
             self.hits += 1
@@ -263,7 +276,14 @@ class GoldenTraceCache:
 def traces_diverge(
     processor: Processor, good: Trace, bad: Trace
 ) -> tuple[int, str] | None:
-    """First (cycle, DPO net) where two traces differ, or None."""
+    """First (cycle, DPO net) where two traces differ, or None.
+
+    Only cycles present in *both* traces are compared (the shorter trace
+    bounds the comparison), and a DPO value that is unknown (``None``,
+    three-valued X) on either side is never counted as a divergence: an
+    unresolved value is compatible with anything.  Divergence on the very
+    last shared cycle is reported like any other.
+    """
     for cycle_index, (g, b) in enumerate(zip(good.cycles, bad.cycles)):
         for net in processor.datapath.dpo_nets:
             gv = g.datapath.get(net.name)

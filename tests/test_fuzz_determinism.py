@@ -1,0 +1,65 @@
+"""Seeded determinism of the fuzz harness.
+
+The report artifact must be byte-identical for the same ``(machine, iters,
+seed, ...)`` whatever the worker count — the property the CI gate and any
+cross-PR diffing rely on.
+"""
+
+import json
+
+from repro.fuzz import FuzzConfig, machine_adapter, run_fuzz
+
+PLANT = "bus-ssl:alu_add.y:0:1"
+
+
+def _report_bytes(**kwargs) -> bytes:
+    config = FuzzConfig(**kwargs)
+    report = run_fuzz(config)
+    processor = machine_adapter(config.machine).build()
+    return json.dumps(report.to_dict(processor), sort_keys=True).encode()
+
+
+def test_same_seed_byte_identical_report():
+    first = _report_bytes(machine="mini", iters=20, seed=11)
+    second = _report_bytes(machine="mini", iters=20, seed=11)
+    assert first == second
+
+
+def test_jobs_do_not_change_report():
+    serial = _report_bytes(machine="mini", iters=12, seed=11, jobs=1)
+    two = _report_bytes(machine="mini", iters=12, seed=11, jobs=2)
+    four = _report_bytes(machine="mini", iters=12, seed=11, jobs=4)
+    assert serial == two == four
+
+
+def test_planted_minimization_is_deterministic():
+    runs = []
+    for _ in range(2):
+        config = FuzzConfig(
+            machine="mini", iters=10, seed=11, plant=PLANT, max_minimize=2
+        )
+        report = run_fuzz(config)
+        assert report.minimized
+        runs.append(report)
+    first, second = runs
+    assert [d["index"] for d in first.divergences] == \
+        [d["index"] for d in second.divergences]
+    assert first.minimized == second.minimized  # incl. pytest_case text
+
+
+def test_planted_jobs_identical_minimizers():
+    reports = [
+        run_fuzz(FuzzConfig(machine="mini", iters=10, seed=11,
+                            plant=PLANT, max_minimize=2, jobs=jobs))
+        for jobs in (1, 2)
+    ]
+    assert reports[0].minimized == reports[1].minimized
+
+
+def test_different_seeds_differ():
+    a = run_fuzz(FuzzConfig(machine="mini", iters=10, seed=1, plant=PLANT))
+    b = run_fuzz(FuzzConfig(machine="mini", iters=10, seed=2, plant=PLANT))
+    # Same machine and planted error, different seeds: the diverging
+    # programs themselves must differ (the generator really is seeded).
+    assert [d["program"] for d in a.divergences] != \
+        [d["program"] for d in b.divergences]

@@ -1,0 +1,186 @@
+"""Tests for the ddmin failing-sequence minimizer (repro.fuzz.minimize)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BusOrderError, BusSSLError, ModuleSubstitutionError
+from repro.fuzz.minimize import (
+    MinimizedCase,
+    ddmin,
+    emit_pytest_case,
+    error_to_spec,
+    minimize_case,
+    parse_error_spec,
+    reduce_init_regs,
+    reduce_operand_fields,
+)
+from repro.mini import Instruction, build_minipipe
+from repro.mini.spec import detects
+
+NOP = Instruction("NOP")
+
+
+# ---------------------------------------------------------------------------
+# ddmin on plain lists
+# ---------------------------------------------------------------------------
+@given(
+    before=st.lists(st.integers(0, 9), max_size=8),
+    after=st.lists(st.integers(0, 9), max_size=8),
+)
+@settings(deadline=None)
+def test_ddmin_isolates_single_poison_element(before, after):
+    poison = 99
+    items = before + [poison] + after
+    result = ddmin(items, lambda seq: poison in seq)
+    assert result == [poison]
+
+
+def test_ddmin_requires_failing_input():
+    with pytest.raises(ValueError):
+        ddmin([1, 2, 3], lambda seq: False)
+
+
+def test_ddmin_keeps_multi_element_dependency():
+    items = [7, 1, 7, 7, 2, 7]
+    result = ddmin(items, lambda seq: 1 in seq and 2 in seq)
+    assert sorted(result) == [1, 2]
+
+
+def test_ddmin_result_is_subsequence():
+    items = list(range(20))
+    result = ddmin(items, lambda seq: sum(seq) >= 30)
+    it = iter(items)
+    assert all(x in it for x in result)  # order-preserving subsequence
+    assert sum(result) >= 30
+
+
+# ---------------------------------------------------------------------------
+# Property: a planted single-instruction discrepancy always minimizes to
+# a 1-instruction reproducer (the satellite requirement).
+# ---------------------------------------------------------------------------
+_PROCESSOR = build_minipipe()
+_ERROR = BusSSLError("alu_add.y", 0, 1)
+
+
+@given(
+    before=st.integers(0, 3),
+    after=st.integers(0, 3),
+    rd=st.integers(0, 3),
+    # Even immediates: bit 0 of the ADDI result is 0, so stuck-at-1 on
+    # alu_add.y bit 0 corrupts the retired write and the case diverges.
+    imm=st.integers(0, 120).map(lambda v: v * 2),
+)
+@settings(max_examples=25, deadline=None)
+def test_planted_discrepancy_minimizes_to_one_instruction(
+    before, after, rd, imm
+):
+    planted = Instruction("ADDI", rs1=0, rd=rd, imm=imm)
+    program = [NOP] * before + [planted] + [NOP] * after
+    init_regs = [0, 0, 0, 0]
+
+    def diverges(prog, regs):
+        return bool(prog) and detects(_PROCESSOR, prog, _ERROR, regs)
+
+    assert diverges(program, init_regs)  # NOPs never write: only the
+    case = minimize_case(program, init_regs, diverges)  # ADDI can expose
+    assert len(case.program) == 1
+    assert case.program[0].op == "ADDI"
+    assert case.original_length == len(program)
+    assert diverges(case.program, case.init_regs)
+
+
+# ---------------------------------------------------------------------------
+# Field / register reduction
+# ---------------------------------------------------------------------------
+def test_reduce_operand_fields_zeroes_unneeded():
+    program = [Instruction("ADDI", rs1=2, rd=1, imm=6)]
+    reduced = reduce_operand_fields(
+        program, lambda p: p[0].rd == 1  # only rd matters
+    )
+    assert reduced == [Instruction("ADDI", rs1=0, rd=1, imm=0)]
+
+
+def test_reduce_operand_fields_keeps_needed():
+    program = [Instruction("ADDI", rs1=2, rd=1, imm=6)]
+    reduced = reduce_operand_fields(
+        program, lambda p: p[0].imm == 6 and p[0].rd == 1
+    )
+    assert reduced == [Instruction("ADDI", rs1=0, rd=1, imm=6)]
+
+
+def test_reduce_init_regs():
+    regs = reduce_init_regs([5, 7, 0, 9], lambda r: r[1] == 7)
+    assert regs == [0, 7, 0, 0]
+
+
+def test_minimize_case_counts_predicate_calls():
+    case = minimize_case(
+        [NOP, Instruction("ADDI", rd=1, imm=4), NOP],
+        [0, 0, 0, 0],
+        lambda prog, regs: any(i.op == "ADDI" for i in prog),
+    )
+    assert isinstance(case, MinimizedCase)
+    assert [i.op for i in case.program] == ["ADDI"]
+    assert case.predicate_calls > 0
+
+
+# ---------------------------------------------------------------------------
+# Error spec round-trip
+# ---------------------------------------------------------------------------
+def test_error_spec_roundtrip():
+    for error in (
+        BusSSLError("alu_add.y", 3, 1),
+        ModuleSubstitutionError("alu_add", "Sub"),
+        BusOrderError("opa_mux"),
+    ):
+        spec = error_to_spec(error)
+        assert parse_error_spec(spec) == error
+
+
+def test_parse_mse_without_type_infers_from_netlist():
+    netlist = build_minipipe().datapath
+    error = parse_error_spec("mse:alu_add", netlist)
+    assert error.module == "alu_add"
+    assert error.module_type == type(netlist.module("alu_add")).__name__
+
+
+def test_parse_error_spec_rejects_bad_input():
+    for spec in ("bus-ssl:net:0", "mse:a:b:c", "boe:a:b", "nope:x", "mse:m"):
+        with pytest.raises(ValueError):
+            parse_error_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# Emitted pytest cases actually run
+# ---------------------------------------------------------------------------
+def _run_emitted(source: str) -> None:
+    namespace: dict = {}
+    exec(compile(source, "<reproducer>", "exec"), namespace)
+    namespace["test_fuzz_reproducer"]()
+
+
+def test_emit_pytest_case_planted_runs():
+    source = emit_pytest_case(
+        "mini",
+        [Instruction("ADDI", rd=1, imm=4)],
+        [0, 0, 0, 0],
+        error=_ERROR,
+        provenance="unit test",
+    )
+    assert "assert detects(" in source
+    assert "unit test" in source
+    _run_emitted(source)
+
+
+def test_emit_pytest_case_fault_free_runs():
+    source = emit_pytest_case(
+        "mini", [Instruction("ADDI", rd=1, imm=4)], [0, 0, 0, 0]
+    )
+    assert "MiniSpec" in source and "detects" not in source
+    _run_emitted(source)  # fault-free machine: spec == impl, so it passes
+
+
+def test_emit_pytest_case_unknown_machine():
+    with pytest.raises(ValueError):
+        emit_pytest_case("vax", [], [])

@@ -138,6 +138,130 @@ def test_golden_cache_lru_eviction(processor):
     assert cache.misses == 4
 
 
+def _single_dpo_trace(values):
+    """A Trace whose only DPO net ("out") takes the given per-cycle values."""
+    from repro.verify.cosim import CycleTrace, Trace
+
+    return Trace(cycles=[
+        CycleTrace(datapath={"out": v}, controller={}) for v in values
+    ])
+
+
+def test_traces_diverge_ignores_unknown_values(processor):
+    good = _single_dpo_trace([1, None, 3])
+    bad = _single_dpo_trace([1, 9, None])
+    # None (three-valued X) on either side is compatible with anything.
+    assert traces_diverge(processor, good, bad) is None
+
+
+def test_traces_diverge_truncates_to_shorter_trace(processor):
+    good = _single_dpo_trace([1, 2, 3])
+    bad = _single_dpo_trace([1, 2])
+    assert traces_diverge(processor, good, bad) is None
+    bad = _single_dpo_trace([1, 9])
+    assert traces_diverge(processor, good, bad) == (1, "out")
+
+
+def test_traces_diverge_on_final_cycle(processor):
+    good = _single_dpo_trace([1, 2, 3])
+    bad = _single_dpo_trace([1, 2, 4])
+    assert traces_diverge(processor, good, bad) == (2, "out")
+
+
+def _build_variant_minipipe():
+    """A MiniPipe whose alu mux swaps add and sub: behaviourally different
+    from the stock machine but accepting exactly the same stimulus."""
+    from repro.datapath import DatapathBuilder
+    from repro.mini.isa import WIDTH
+    from repro.mini.machine import build_minipipe_controller
+    from repro.model.processor import Processor
+
+    b = DatapathBuilder("minipipe_variant_dp")
+    b.set_stage(0)
+    rf_a = b.input("rf_a", WIDTH)
+    rf_b = b.input("rf_b", WIDTH)
+    imm = b.input("imm", WIDTH)
+    squash_ctl = b.ctrl("squash_ctl", 1)
+    ex_a = b.register("ex_a", rf_a, clear=squash_ctl)
+    ex_b = b.register("ex_b", rf_b, clear=squash_ctl)
+    ex_imm = b.register("ex_imm", imm, clear=squash_ctl)
+    b.set_stage(1)
+    fwd_a = b.ctrl("fwd_a_ctl", 1)
+    fwd_b = b.ctrl("fwd_b_ctl", 1)
+    alusrc = b.ctrl("alusrc", 1)
+    alu_op = b.ctrl("alu_op", 2)
+    b.set_stage(2)
+    wb_result = b.placeholder_register("wb_res", WIDTH)
+    b.set_stage(1)
+    opa = b.mux("opa_mux", fwd_a, ex_a, wb_result)
+    opb_fwd = b.mux("opb_fwd_mux", fwd_b, ex_b, wb_result)
+    opb = b.mux("opb_mux", alusrc, opb_fwd, ex_imm)
+    add_r = b.add("alu_add", opa, opb)
+    sub_r = b.sub("alu_sub", opa, opb)
+    and_r = b.and_("alu_and", opa, opb)
+    xor_r = b.xor("alu_xor", opa, opb)
+    # The variant: add and sub trade mux ports.
+    alu_out = b.mux("alu_mux", alu_op, sub_r, add_r, and_r, xor_r)
+    b.status("eq", b.eq("cmp", opa, opb))
+    b.set_stage(2)
+    b.connect_register("wb_res", alu_out)
+    wb_en = b.ctrl("wb_en", 1)
+    zero = b.const("zero", WIDTH, 0)
+    out = b.mux("out_mux", wb_en, zero, wb_result)
+    b.output("out", out)
+    variant = Processor(
+        name="minipipe_variant",
+        datapath=b.build(),
+        controller=build_minipipe_controller(),
+        n_stages=3,
+        stimulus_registers=frozenset(),
+        cpi_defaults={"op": 0, "rs1": 0, "rs2": 0, "rd": 0},
+        cpi_dpi_bindings={},
+    )
+    variant.validate()
+    return variant
+
+
+def test_golden_cache_keyed_by_processor_identity(processor):
+    """Two behaviourally-different machines sharing one cache must never
+    receive each other's traces (regression: the key used to be the
+    stimulus alone)."""
+    variant = _build_variant_minipipe()
+    cpi, dpi = _stimulus(4)
+    cache = GoldenTraceCache()
+    stock_trace = cache.trace(processor, {}, cpi, dpi)
+    variant_trace = cache.trace(variant, {}, cpi, dpi)
+    # Identical stimulus, but two misses: no cross-machine hit.
+    assert (cache.hits, cache.misses) == (0, 2)
+    # ADDI r1, r0, #4 retires at cycle 2: 0+4 on the stock machine, 0-4
+    # (mod 256) on the swapped-alu variant.
+    assert stock_trace.cycles[2].datapath["out"] == 4
+    assert variant_trace.cycles[2].datapath["out"] == 252
+    # Each machine still hits its own entry.
+    cache.trace(processor, {}, cpi, dpi)
+    cache.trace(variant, {}, cpi, dpi)
+    assert (cache.hits, cache.misses) == (2, 2)
+
+
+def test_two_tgs_sharing_one_golden_cache(processor):
+    """A golden cache shared between two TGs for different machines gives
+    the same verdicts as private caches."""
+    from repro.core.tg import TestGenerator
+
+    variant = _build_variant_minipipe()
+    error = BusSSLError("alu_add.y", 0, 1)
+
+    tg_stock = TestGenerator(processor)
+    tg_shared = TestGenerator(variant, _golden=tg_stock._golden)
+    tg_fresh = TestGenerator(variant)
+    result_stock = tg_stock.generate(error)
+    shared = tg_shared.generate(error)
+    fresh = tg_fresh.generate(error)
+    assert result_stock.status.value == "detected"
+    assert shared.status == fresh.status
+    assert shared.test == fresh.test
+
+
 def test_traces_identical_when_error_inactive(processor):
     # Stuck-at-0 on a bit that is already 0 everywhere: no divergence.
     program = [Instruction("ADDI", rs1=0, rd=1, imm=0)]
