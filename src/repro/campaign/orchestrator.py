@@ -322,8 +322,11 @@ class CampaignOrchestrator:
         realized = self.campaign.deserialize_realized(test)
         survivors: list[tuple[int, DesignError]] = []
         dropped: list[ErrorOutcome] = []
-        for index, other in queue:
-            if self.campaign.detects_realized(realized, other):
+        verdicts = self.campaign.detects_realized_batch(
+            realized, [other for _, other in queue]
+        )
+        for (index, other), hit in zip(queue, verdicts):
+            if hit:
                 record = self.campaign.dropped_outcome(
                     other, realized, outcome.error
                 )
@@ -366,6 +369,8 @@ class CampaignOrchestrator:
                 phase_seconds=dict(outcome.phase_seconds),
                 golden_hits=outcome.golden_hits,
                 golden_misses=outcome.golden_misses,
+                exposure_forks=outcome.exposure_forks,
+                exposure_fork_decided=outcome.exposure_fork_decided,
             )
 
     def _emit_profile_summary(self, report: CampaignReport) -> None:
@@ -378,6 +383,10 @@ class CampaignOrchestrator:
             phase_seconds=phase_seconds,
             golden_hits=sum(o.golden_hits for o in report.outcomes),
             golden_misses=sum(o.golden_misses for o in report.outcomes),
+            exposure_forks=sum(o.exposure_forks for o in report.outcomes),
+            exposure_fork_decided=sum(
+                o.exposure_fork_decided for o in report.outcomes
+            ),
         )
 
     def _write_checkpoint(

@@ -44,6 +44,10 @@ class ErrorOutcome:
     #: Golden-trace cache traffic during this error's exposure checks.
     golden_hits: int = 0
     golden_misses: int = 0
+    #: Exposure checks screened by a cone fork / decided without a full
+    #: bad-machine co-simulation (see ``repro.datapath.faultsim``).
+    exposure_forks: int = 0
+    exposure_fork_decided: int = 0
 
 
 @dataclass
@@ -133,6 +137,17 @@ class CampaignBase:
         """Does an already-realized test also detect ``error``?"""
         raise NotImplementedError
 
+    def detects_realized_batch(
+        self, realized, errors: Sequence[DesignError]
+    ) -> list[bool]:
+        """``[self.detects_realized(realized, e) for e in errors]``.
+
+        Vehicles with a batch fault simulator override this to run the
+        fault-free trace once and cone-fork all errors against it; the
+        base implementation just loops.
+        """
+        return [self.detects_realized(realized, e) for e in errors]
+
     def nontrivial_count(self, program) -> int:
         """Instructions in ``program`` other than NOP."""
         raise NotImplementedError
@@ -210,8 +225,9 @@ def run_serial_campaign(
         if error_simulation and realized is not None:
             drop_start = time.monotonic()
             survivors = []
-            for other in remaining:
-                if campaign.detects_realized(realized, other):
+            verdicts = campaign.detects_realized_batch(realized, remaining)
+            for other, hit in zip(remaining, verdicts):
+                if hit:
                     record = campaign.dropped_outcome(
                         other, realized, outcome.error
                     )
@@ -279,6 +295,8 @@ class DlxCampaign(CampaignBase):
             phase_seconds=dict(result.phase_seconds),
             golden_hits=result.golden_hits,
             golden_misses=result.golden_misses,
+            exposure_forks=result.exposure_forks,
+            exposure_fork_decided=result.exposure_fork_decided,
         )
         realized = None
         if result.status is not TGStatus.DETECTED:
@@ -309,6 +327,16 @@ class DlxCampaign(CampaignBase):
 
         return detects(
             self.processor, realized.program, error,
+            realized.init_regs, realized.init_memory,
+        )
+
+    def detects_realized_batch(
+        self, realized, errors: Sequence[DesignError]
+    ) -> list[bool]:
+        from repro.dlx.env import batch_detects
+
+        return batch_detects(
+            self.processor, realized.program, errors,
             realized.init_regs, realized.init_memory,
         )
 
@@ -369,6 +397,8 @@ class MiniCampaign(CampaignBase):
             phase_seconds=dict(result.phase_seconds),
             golden_hits=result.golden_hits,
             golden_misses=result.golden_misses,
+            exposure_forks=result.exposure_forks,
+            exposure_fork_decided=result.exposure_fork_decided,
         )
         realized = None
         if result.status is not TGStatus.DETECTED:
@@ -399,6 +429,15 @@ class MiniCampaign(CampaignBase):
 
         return detects(
             self.processor, realized.program, error, realized.init_regs
+        )
+
+    def detects_realized_batch(
+        self, realized, errors: Sequence[DesignError]
+    ) -> list[bool]:
+        from repro.mini.spec import batch_detects
+
+        return batch_detects(
+            self.processor, realized.program, errors, realized.init_regs
         )
 
     def nontrivial_count(self, program) -> int:

@@ -53,6 +53,10 @@ class TGStatus(enum.Enum):
     ABORTED = "aborted"
 
 
+#: Sentinel: the cone fork could not decide an exposure check.
+_FORK_UNDECIDED = object()
+
+
 @dataclass
 class TestCase:
     """A complete verification test: stimulus for every cycle.
@@ -101,6 +105,11 @@ class TGResult:
     #: from the cache vs fault-free simulations actually run.
     golden_hits: int = 0
     golden_misses: int = 0
+    #: Exposure checks screened by a cone fork against the golden trace,
+    #: and how many of those the fork decided outright (no bad-machine
+    #: co-simulation at all).
+    exposure_forks: int = 0
+    exposure_fork_decided: int = 0
 
 
 @dataclass
@@ -130,6 +139,11 @@ class TestGenerator:
     #: Event-driven incremental implication in CTRLJUST (the default);
     #: ``False`` selects the full-sweep reference oracle.
     use_incremental_implication: bool = True
+    #: Run exposure checks on the compiled datapath kernels, screening the
+    #: bad-machine co-simulation with a cone fork against the golden trace
+    #: (:mod:`repro.datapath.faultsim`).  ``False`` restores the fully
+    #: interpretive path — the differential oracle.
+    use_compiled_datapath: bool = True
 
     _analyzers: dict[int, object] = field(default_factory=dict, repr=False)
     _unrolled: dict[int, UnrolledController] = field(
@@ -140,12 +154,20 @@ class TestGenerator:
     _golden: GoldenTraceCache = field(
         default_factory=GoldenTraceCache, repr=False
     )
+    #: Batch fault simulators per cached golden trace (the densified form
+    #: is shared by every error forked against the same stimulus).
+    _fork_sims: dict = field(default_factory=dict, repr=False)
+    _fork_checks: int = field(default=0, repr=False)
+    _fork_decided: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_frames is None:
             self.min_frames = self.processor.n_stages + 1
         if self.max_frames is None:
             self.max_frames = self.processor.n_stages + 4
+        # The golden half of the exposure check follows the same backend
+        # switch as the bad-machine co-simulation.
+        self._golden.compiled = self.use_compiled_datapath
 
     # ------------------------------------------------------------------
     # Cached per-window structures
@@ -172,6 +194,7 @@ class TestGenerator:
         result = TGResult(TGStatus.ABORTED, error=error.describe())
         discouraged: set = set()
         base_hits, base_misses = self._golden.hits, self._golden.misses
+        base_forks, base_decided = self._fork_checks, self._fork_decided
         try:
             for n_frames in range(self.min_frames, self.max_frames + 1):
                 for act_frame in range(n_frames - 1, -1, -1):
@@ -198,6 +221,8 @@ class TestGenerator:
         finally:
             result.golden_hits = self._golden.hits - base_hits
             result.golden_misses = self._golden.misses - base_misses
+            result.exposure_forks = self._fork_checks - base_forks
+            result.exposure_fork_decided = self._fork_decided - base_decided
 
     def _had_justification(self, result: TGResult) -> bool:
         return getattr(self, "_last_attempt_justified", False)
@@ -493,11 +518,19 @@ class TestGenerator:
                 self.processor, test.stimulus_state,
                 test.cpi_frames, test.dpi_frames,
             )
+        except CosimError:
+            return None
+        if self.use_compiled_datapath:
+            verdict = self._fork_exposure(error, good)
+            if verdict is not _FORK_UNDECIDED:
+                return verdict
+        try:
             bad_sim = error.attach(self.processor.datapath)
             bad_cosim = ProcessorSimulator(
                 self.processor,
                 injector=bad_sim.injector,
                 module_overrides=bad_sim.module_overrides,
+                compiled=self.use_compiled_datapath,
             )
             bad_cosim.set_stimulus_state(test.stimulus_state)
             bad = bad_cosim.run(test.cpi_frames, test.dpi_frames)
@@ -506,3 +539,34 @@ class TestGenerator:
         if self.exposure_comparator is not None:
             return self.exposure_comparator(self.processor, good, bad)
         return traces_diverge(self.processor, good, bad)
+
+    def _fork_exposure(self, error: DesignError, good):
+        """Try to decide the exposure check with a cone fork alone.
+
+        A ``clean`` fork means the erroneous machine's trace is identical
+        to the golden one on every net either the DPO comparison or a
+        custom comparator can read, so the check fails (None) without ever
+        co-simulating the bad machine.  An ``abort`` fork means the real
+        bad-machine run raises ``CosimError`` — also None.  A ``dpo`` fork
+        is the exact ``traces_diverge`` answer, usable when no custom
+        comparator is installed.  Status-net divergence taints the fork
+        (control feedback), so those — and errors the fork cannot model —
+        fall through to the full co-simulation.
+        """
+        from repro.datapath.faultsim import BatchFaultSimulator
+
+        self._fork_checks += 1
+        entry = self._fork_sims.get(id(good))
+        if entry is None:
+            entry = (good, BatchFaultSimulator(self.processor, good))
+            self._fork_sims[id(good)] = entry
+            while len(self._fork_sims) > 64:
+                self._fork_sims.pop(next(iter(self._fork_sims)))
+        fork = entry[1].fork(error)
+        if fork.kind in ("clean", "abort"):
+            self._fork_decided += 1
+            return None
+        if fork.kind == "dpo" and self.exposure_comparator is None:
+            self._fork_decided += 1
+            return (fork.cycle, fork.net)
+        return _FORK_UNDECIDED

@@ -5,13 +5,19 @@ Public surface: the net/module structures, the module library, the fluent
 """
 
 from repro.datapath.builder import DatapathBuilder
+from repro.datapath.compiled import CompiledDatapath, CompiledDatapathSimulator
+from repro.datapath.faultsim import BatchFaultSimulator, ForkOutcome
 from repro.datapath.module import Module, ModuleClass
 from repro.datapath.net import Net, NetRole, Port, PortDirection, PortKind
 from repro.datapath.netlist import Netlist, NetlistError
 from repro.datapath.simulate import DatapathSimulator, Injector, no_injection
 
 __all__ = [
+    "BatchFaultSimulator",
+    "CompiledDatapath",
+    "CompiledDatapathSimulator",
     "DatapathBuilder",
+    "ForkOutcome",
     "DatapathSimulator",
     "Injector",
     "Module",

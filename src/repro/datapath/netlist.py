@@ -26,6 +26,7 @@ class Netlist:
         self.modules: dict[str, Module] = {}
         self.nets: dict[str, Net] = {}
         self._topo_cache: list[Module] | None = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -35,6 +36,7 @@ class Netlist:
             raise NetlistError(f"duplicate module name {module.name!r}")
         self.modules[module.name] = module
         self._topo_cache = None
+        self._compiled_cache = None
         return module
 
     def add_net(
@@ -49,6 +51,7 @@ class Netlist:
         net = Net(name, width, role=role, stage=stage)
         self.nets[name] = net
         self._topo_cache = None
+        self._compiled_cache = None
         return net
 
     def connect(self, net: Net, port: Port) -> None:
@@ -68,6 +71,7 @@ class Netlist:
             net.sinks.append(port)
         port.net = net
         self._topo_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -207,6 +211,16 @@ class Netlist:
             raise NetlistError(f"combinational cycle through modules: {stuck}")
         self._topo_cache = order
         return order
+
+    def compiled(self):
+        """The codegen'd kernel form of this netlist (cached; see
+        :mod:`repro.datapath.compiled`).  Invalidated, like the topological
+        order, by any structural edit."""
+        if self._compiled_cache is None:
+            from repro.datapath.compiled import CompiledDatapath
+
+            self._compiled_cache = CompiledDatapath(self)
+        return self._compiled_cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,6 +5,12 @@ external inputs and register state, and clocks the pipe registers.  An
 optional *injector* transforms net values as they are produced, which is how
 design errors (e.g. bus single-stuck-line errors) are planted into the
 implementation without modifying the netlist itself.
+
+This interpretive simulator is the semantic reference; the codegen'd
+kernels in :mod:`repro.datapath.compiled` are differentially tested against
+it.  To stay usable as the oracle on large campaigns it precomputes its
+iteration plan once (port-name tuples, reusable operand buffers) instead of
+rebuilding per-module port lists every cycle.
 """
 
 from __future__ import annotations
@@ -13,7 +19,6 @@ from typing import Callable, Mapping, Sequence
 
 from repro.datapath.module import ModuleClass
 from repro.datapath.modules import ConstantModule
-from repro.datapath.net import Net
 from repro.datapath.netlist import Netlist
 
 #: An injector maps (net name, fault-free value) -> possibly corrupted value.
@@ -51,6 +56,37 @@ class DatapathSimulator:
             reg.name: reg.reset_value for reg in netlist.registers
         }
         self._order = netlist.topological_order()
+        # Precomputed iteration plan: name tuples and reusable operand
+        # buffers, built once so the per-cycle loops allocate nothing but
+        # the returned value dict.
+        self._ext_names = [
+            net.name for net in netlist.nets.values() if net.is_external_input
+        ]
+        self._sources: list[tuple[str, int | None, str | None]] = []
+        for module in netlist.modules.values():
+            if isinstance(module, ConstantModule):
+                self._sources.append(
+                    (module.output.net.name, module.value, None)
+                )
+            elif module.module_class is ModuleClass.STATE:
+                self._sources.append(
+                    (module.output.net.name, None, module.name)
+                )
+        self._plan = []
+        for module in self._order:
+            in_names = tuple(p.net.name for p in module.data_inputs)
+            ctl_names = tuple(p.net.name for p in module.control_inputs)
+            self._plan.append((
+                module, module.output.net.name, in_names, ctl_names,
+                [0] * len(in_names), [0] * len(ctl_names),
+                self.module_overrides.get(module.name),
+            ))
+        self._reg_plan = [
+            (reg, reg.name, reg.data_inputs[0].net.name,
+             tuple(p.net.name for p in reg.control_inputs),
+             [0] * len(reg.control_inputs))
+            for reg in netlist.registers
+        ]
 
     def reset(self) -> None:
         """Return all registers to their reset values."""
@@ -63,30 +99,35 @@ class DatapathSimulator:
     def evaluate(self, external: Mapping[str, int]) -> dict[str, int]:
         """Evaluate all net values for the current state and externals."""
         values: dict[str, int] = {}
+        injector = self.injector
+        fault_free = injector is no_injection
+        get = external.get
+        state = self.state
 
-        def emit(net: Net, value: int) -> None:
-            values[net.name] = self.injector(net.name, value)
+        if fault_free:
+            for name in self._ext_names:
+                values[name] = get(name, 0)
+            for name, const, reg in self._sources:
+                values[name] = const if reg is None else state[reg]
+        else:
+            for name in self._ext_names:
+                values[name] = injector(name, get(name, 0))
+            for name, const, reg in self._sources:
+                values[name] = injector(
+                    name, const if reg is None else state[reg]
+                )
 
-        # Sources: external inputs, constants, register outputs.
-        for net in self.netlist.nets.values():
-            if net.is_external_input:
-                emit(net, external.get(net.name, 0))
-        for module in self.netlist.modules.values():
-            if isinstance(module, ConstantModule):
-                emit(module.output.net, module.value)
-            elif module.module_class is ModuleClass.STATE:
-                emit(module.output.net, self.state[module.name])
-
-        # Combinational modules in topological order.
-        for module in self._order:
-            inputs = [values[p.net.name] for p in module.data_inputs]
-            controls = [values[p.net.name] for p in module.control_inputs]
-            override = self.module_overrides.get(module.name)
+        for (module, out, in_names, ctl_names, in_buf, ctl_buf,
+             override) in self._plan:
+            for i, n in enumerate(in_names):
+                in_buf[i] = values[n]
+            for i, n in enumerate(ctl_names):
+                ctl_buf[i] = values[n]
             if override is not None:
-                result = override(inputs, controls)
+                result = override(in_buf, ctl_buf)
             else:
-                result = module.evaluate(inputs, controls)
-            emit(module.output.net, result)
+                result = module.evaluate(in_buf, ctl_buf)
+            values[out] = result if fault_free else injector(out, result)
         return values
 
     def evaluate_partial(
@@ -100,51 +141,61 @@ class DatapathSimulator:
         controller/datapath dependency within one cycle.
         """
         values: dict[str, int | None] = {}
+        injector = self.injector
+        fault_free = injector is no_injection
+        get = external.get
+        state = self.state
 
-        def emit(net: Net, value: int | None) -> None:
-            if value is None:
-                values[net.name] = None
+        for name in self._ext_names:
+            value = get(name)
+            if value is None or fault_free:
+                values[name] = value
             else:
-                values[net.name] = self.injector(net.name, value)
+                values[name] = injector(name, value)
+        for name, const, reg in self._sources:
+            value = const if reg is None else state[reg]
+            values[name] = value if fault_free else injector(name, value)
 
-        for net in self.netlist.nets.values():
-            if net.is_external_input:
-                emit(net, external.get(net.name))
-        for module in self.netlist.modules.values():
-            if isinstance(module, ConstantModule):
-                emit(module.output.net, module.value)
-            elif module.module_class is ModuleClass.STATE:
-                emit(module.output.net, self.state[module.name])
-        for module in self._order:
-            inputs = [values[p.net.name] for p in module.data_inputs]
-            controls = [values[p.net.name] for p in module.control_inputs]
-            if any(c is None for c in controls):
-                emit(module.output.net, None)
+        for (module, out, in_names, ctl_names, in_buf, ctl_buf,
+             override) in self._plan:
+            unknown = False
+            for i, n in enumerate(ctl_names):
+                value = values[n]
+                if value is None:
+                    unknown = True
+                    break
+                ctl_buf[i] = value
+            if not unknown:
+                for i, n in enumerate(in_names):
+                    in_buf[i] = values[n]
+                for i in module.needed_inputs(ctl_buf):
+                    if in_buf[i] is None:
+                        unknown = True
+                        break
+            if unknown:
+                values[out] = None
                 continue
-            needed = module.needed_inputs(controls)
-            if any(inputs[i] is None for i in needed):
-                emit(module.output.net, None)
-                continue
-            eval_inputs = [v if v is not None else 0 for v in inputs]
-            override = self.module_overrides.get(module.name)
+            for i, value in enumerate(in_buf):
+                if value is None:
+                    in_buf[i] = 0
             if override is not None:
-                result = override(eval_inputs, controls)
+                result = override(in_buf, ctl_buf)
             else:
-                result = module.evaluate(eval_inputs, controls)
-            emit(module.output.net, result)
+                result = module.evaluate(in_buf, ctl_buf)
+            values[out] = result if fault_free else injector(out, result)
         return values
 
     def step(self, external: Mapping[str, int]) -> dict[str, int]:
         """Evaluate one cycle and clock the registers; returns net values."""
         values = self.evaluate(external)
-        next_state: dict[str, int] = {}
-        for reg in self.netlist.registers:
-            d_value = values[reg.data_inputs[0].net.name]
-            controls = [values[p.net.name] for p in reg.control_inputs]
-            next_state[reg.name] = reg.next_state(
-                self.state[reg.name], d_value, controls
-            )
-        self.state.update(next_state)
+        state = self.state
+        # In-place update is safe: register D and control operands come from
+        # ``values`` (this cycle's combinational outputs), never from the
+        # state of another register; only the hold case reads its own entry.
+        for reg, name, d_name, ctl_names, ctl_buf in self._reg_plan:
+            for i, n in enumerate(ctl_names):
+                ctl_buf[i] = values[n]
+            state[name] = reg.next_state(state[name], values[d_name], ctl_buf)
         return values
 
     def run(

@@ -37,10 +37,12 @@ class DlxEnv:
         processor: Processor,
         injector: Injector = no_injection,
         module_overrides: Mapping[str, ModuleOverride] | None = None,
+        compiled: bool = True,
     ) -> None:
         self.processor = processor
         self.sim = ProcessorSimulator(
-            processor, injector=injector, module_overrides=module_overrides
+            processor, injector=injector, module_overrides=module_overrides,
+            compiled=compiled,
         )
         #: Branch-prediction controllers expose 'predict_taken'; the fetch
         #: unit then skips ahead on predicted-taken branches and rewinds on
@@ -205,6 +207,47 @@ def detects(
     )
     impl = env.run(program, init_regs, init_memory)
     return impl.events != spec.events
+
+
+def batch_detects(
+    processor: Processor,
+    program: Sequence[Instruction],
+    errors: Sequence,
+    init_regs: Sequence[int] | None = None,
+    init_memory: dict[int, int] | None = None,
+    stats: list | None = None,
+) -> list[bool]:
+    """``[detects(processor, program, e, ...) for e in errors]`` via one
+    golden run plus cone forks (:mod:`repro.datapath.faultsim`).
+
+    The environment closes feedback loops the open-loop fork cannot model
+    (``dmem_rdata`` echoes the same cycle's address pins), so the fork is
+    used purely as a *negative screen*: a fork that never touches a net the
+    environment reads — the DPO pins, the STS nets, or ``mem_alu.y`` —
+    leaves every stimulus and every commit identical to the golden run and
+    inherits the golden verdict.  Any touch is confirmed serially.
+    """
+    from repro.datapath.faultsim import BatchFaultSimulator
+
+    spec = DlxSpec().run(program, init_regs, init_memory)
+    env = DlxEnv(processor)
+    golden = env.run(program, init_regs, init_memory)
+    golden_detects = golden.events != spec.events
+    sim = BatchFaultSimulator(
+        processor, env.trace, observed_extra=("mem_alu.y",)
+    )
+    results = []
+    for error in errors:
+        fork = sim.fork(error, stop_at_first_observed=True)
+        if fork.kind == "clean":
+            results.append(golden_detects)
+        else:
+            results.append(
+                detects(processor, program, error, init_regs, init_memory)
+            )
+    if stats is not None:
+        stats.append(sim.stats)
+    return results
 
 
 def dlx_exposure_comparator(processor, good, bad):

@@ -79,6 +79,9 @@ class BusSSLError(DesignError):
                 return self.corrupt(value)
             return value
 
+        # Site annotation: compiled kernels hook only these nets instead of
+        # wrapping every net emission (repro.datapath.compiled).
+        inject.sites = (self.net,)
         return inject
 
     def attach(self, netlist: Netlist) -> DatapathSimulator:

@@ -57,6 +57,12 @@ class MatrixConfig:
     #: Cap on bits enumerated per bus for SSL (None = every bit); the DLX
     #: campaign default is 4 to keep wide-bus counts manageable.
     max_bits_per_net: int | None = None
+    #: Classify via the cone-forking batch fault simulator (one golden run
+    #: per program, all surviving errors forked against it).  ``False``
+    #: runs one full co-simulation per (error, program) pair; the
+    #: classifications are identical either way (execution strategy, not a
+    #: result knob — deliberately absent from the artifact's config).
+    batch: bool = True
 
 
 def reaches_observable(netlist, site_net: str) -> bool:
@@ -107,20 +113,22 @@ def _enumerate(processor, config: MatrixConfig) -> list[tuple[str, object]]:
 
 
 def _machine_harness(config: MatrixConfig):
-    """(processor, detects_fn, program generator) for the machine."""
+    """(processor, detects_fn, batch_detects_fn, generator) for the machine."""
     generator_config = RandomProgramConfig(
         length=config.length, seed=config.seed
     )
     if config.machine == "mini":
         from repro.mini import build_minipipe, detects
+        from repro.mini.spec import batch_detects
 
-        return (build_minipipe(), detects,
+        return (build_minipipe(), detects, batch_detects,
                 RandomMiniGenerator(generator_config))
     if config.machine in ("dlx", "dlx_bp"):
         from repro.dlx import build_dlx, detects
+        from repro.dlx.env import batch_detects
 
         return (build_dlx(branch_prediction=config.machine == "dlx_bp"),
-                detects, RandomDlxGenerator(generator_config))
+                detects, batch_detects, RandomDlxGenerator(generator_config))
     raise ValueError(f"unknown machine {config.machine!r}")
 
 
@@ -138,7 +146,7 @@ def run_matrix(config: MatrixConfig, events=None) -> dict:
     CLI merges fragments from several machines into one artifact.
     """
     started = time.monotonic()
-    processor, detects, generator = _machine_harness(config)
+    processor, detects, batch_detects, generator = _machine_harness(config)
     errors = _enumerate(processor, config)
     if events:
         events.emit(
@@ -151,7 +159,7 @@ def run_matrix(config: MatrixConfig, events=None) -> dict:
         for i in range(config.programs)
     ]
     rows = []
-    counts: dict[str, dict[str, int]] = {}
+    pending: list[tuple[int, object]] = []  # (row index, error) to simulate
     for class_name, error in errors:
         row = {
             "error": error.describe(),
@@ -165,22 +173,45 @@ def run_matrix(config: MatrixConfig, events=None) -> dict:
             row["programs_run"] = 0
             row["detected_by_program"] = None
         else:
-            detected_by = None
-            run = 0
-            for i, (program, init_regs) in enumerate(programs):
-                run += 1
-                if detects(processor, program, error, init_regs):
-                    detected_by = i
-                    break
-            row["classification"] = (
-                "detected" if detected_by is not None
-                else "undetected_by_budget"
-            )
-            row["programs_run"] = run
-            row["detected_by_program"] = detected_by
+            # Provisional: overwritten when some program detects it.
+            row["classification"] = "undetected_by_budget"
+            row["programs_run"] = len(programs)
+            row["detected_by_program"] = None
+            pending.append((len(rows), error))
         rows.append(row)
+    if config.batch:
+        # Programs outer, surviving errors batched per program: one golden
+        # environment run per program, every pending error cone-forked
+        # against it.  Same classifications, ``programs_run`` and
+        # ``detected_by_program`` as the serial nesting (an error's budget
+        # consumption never depends on the other errors).
+        for i, (program, init_regs) in enumerate(programs):
+            if not pending:
+                break
+            verdicts = batch_detects(
+                processor, program, [e for _, e in pending], init_regs
+            )
+            survivors = []
+            for (index, error), hit in zip(pending, verdicts):
+                if hit:
+                    rows[index]["classification"] = "detected"
+                    rows[index]["programs_run"] = i + 1
+                    rows[index]["detected_by_program"] = i
+                else:
+                    survivors.append((index, error))
+            pending = survivors
+    else:
+        for index, error in pending:
+            for i, (program, init_regs) in enumerate(programs):
+                if detects(processor, program, error, init_regs):
+                    rows[index]["classification"] = "detected"
+                    rows[index]["programs_run"] = i + 1
+                    rows[index]["detected_by_program"] = i
+                    break
+    counts: dict[str, dict[str, int]] = {}
+    for row in rows:
         summary = counts.setdefault(
-            class_name,
+            row["class"],
             {"total": 0, "detected": 0, "undetected_by_budget": 0,
              "proven_benign": 0},
         )

@@ -65,6 +65,10 @@ class FuzzConfig:
     max_minimize: int = 5
     #: Optional mnemonic -> weight opcode mix for the generator.
     opcode_weights: dict | None = None
+    #: Simulate on the compiled datapath kernels (default); ``False`` runs
+    #: the interpretive oracle.  Execution strategy, not a result knob —
+    #: reports are byte-identical either way and exclude it.
+    compiled: bool = True
 
     def __post_init__(self) -> None:
         if self.machine not in MACHINES:
@@ -103,16 +107,17 @@ class _MiniAdapter:
             "registers": list(result.registers),
         }
 
-    def impl_outcome(self, processor, program, init_regs, error=None):
-        from repro.datapath.simulate import no_injection
+    def impl_outcome(self, processor, program, init_regs, error=None,
+                     compiled=True):
         from repro.mini.spec import MiniEnv
 
         if error is None:
-            env = MiniEnv(processor)
+            env = MiniEnv(processor, compiled=compiled)
         else:
             bad = error.attach(processor.datapath)
             env = MiniEnv(processor, injector=bad.injector,
-                          module_overrides=bad.module_overrides)
+                          module_overrides=bad.module_overrides,
+                          compiled=compiled)
         result = env.run(program, init_regs)
         outcome = {
             "writes": [list(w) for w in result.writes],
@@ -143,15 +148,17 @@ class _DlxAdapter:
         result = DlxSpec().run(program, init_regs)
         return self._canonical(result)
 
-    def impl_outcome(self, processor, program, init_regs, error=None):
+    def impl_outcome(self, processor, program, init_regs, error=None,
+                     compiled=True):
         from repro.dlx.env import DlxEnv
 
         if error is None:
-            env = DlxEnv(processor)
+            env = DlxEnv(processor, compiled=compiled)
         else:
             bad = error.attach(processor.datapath)
             env = DlxEnv(processor, injector=bad.injector,
-                         module_overrides=bad.module_overrides)
+                         module_overrides=bad.module_overrides,
+                         compiled=compiled)
         result = env.run(program, init_regs)
         return self._canonical(result), env.trace
 
@@ -240,7 +247,7 @@ def _run_shard(payload: tuple) -> dict:
         init_regs = generator.initial_registers(index)
         spec_outcome = adapter.spec_outcome(program, init_regs)
         impl_outcome, trace = adapter.impl_outcome(
-            processor, program, init_regs, error
+            processor, program, init_regs, error, compiled=config.compiled
         )
         collector.observe_trace(trace)
         for name, count in _signal_activity(processor, trace).items():
@@ -357,6 +364,7 @@ def run_fuzz(
         "budget_seconds": config.budget_seconds, "plant": config.plant,
         "max_minimize": config.max_minimize,
         "opcode_weights": config.opcode_weights,
+        "compiled": config.compiled,
     }
     shards = _shards(config.iters, config.jobs)
     payloads = [
@@ -416,7 +424,7 @@ def _minimize_divergences(
             return False
         spec_outcome = adapter.spec_outcome(program, init_regs)
         impl_outcome, _ = adapter.impl_outcome(
-            processor, program, init_regs, error
+            processor, program, init_regs, error, compiled=config.compiled
         )
         return first_mismatch(spec_outcome, impl_outcome) is not None
 

@@ -80,10 +80,12 @@ class MiniEnv:
         processor: Processor,
         injector: Injector = no_injection,
         module_overrides: Mapping[str, ModuleOverride] | None = None,
+        compiled: bool = True,
     ) -> None:
         self.processor = processor
         self.sim = ProcessorSimulator(
-            processor, injector=injector, module_overrides=module_overrides
+            processor, injector=injector, module_overrides=module_overrides,
+            compiled=compiled,
         )
         #: Cycle-accurate co-simulation trace of the most recent ``run``
         #: (consumed by the coverage collector in ``repro.fuzz``).
@@ -161,3 +163,51 @@ def detects(
     )
     impl = env.run(program, init_regs)
     return impl.writes != spec.writes
+
+
+def batch_detects(
+    processor: Processor,
+    program: Sequence[Instruction],
+    errors: Sequence,
+    init_regs: Sequence[int] | None = None,
+    stats: list | None = None,
+) -> list[bool]:
+    """``[detects(processor, program, e, init_regs) for e in errors]`` via
+    one golden run plus cone forks (:mod:`repro.datapath.faultsim`).
+
+    The fault-free environment run is simulated once; each error is forked
+    against its trace.  A fork that never touches an observable net behaves
+    identically to the golden machine, so it inherits the golden verdict.
+    A fork whose first observable touch is a DPO divergence in a committing
+    cycle (``wb_en == 1``) changes that cycle's write-back value, so the
+    write list differs from the specification's — detected directly.  (The
+    gating matters: an error planted on ``out`` itself diverges even with
+    ``wb_en == 0``, where nothing commits.)  Everything else — status-net
+    divergence, which feeds back into control, or a non-committing DPO
+    touch — is confirmed with a full serial run.
+    """
+    from repro.datapath.faultsim import BatchFaultSimulator
+
+    spec = MiniSpec().run(program, init_regs)
+    env = MiniEnv(processor)
+    golden = env.run(program, init_regs)
+    golden_detects = golden.writes != spec.writes
+    sim = BatchFaultSimulator(processor, env.trace)
+    results = []
+    for error in errors:
+        fork = sim.fork(error, stop_at_first_observed=True)
+        if fork.kind == "clean":
+            results.append(golden_detects)
+        elif (
+            fork.kind == "dpo"
+            and not golden_detects
+            and env.trace.cycles[fork.cycle].controller.get("wb_en") == 1
+            and env.trace.cycles[fork.cycle].controller.get("rd_wb")
+            is not None
+        ):
+            results.append(True)
+        else:
+            results.append(detects(processor, program, error, init_regs))
+    if stats is not None:
+        stats.append(sim.stats)
+    return results

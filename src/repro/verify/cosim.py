@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.datapath.compiled import CompiledDatapathSimulator
 from repro.datapath.simulate import (
     DatapathSimulator,
     Injector,
@@ -62,9 +63,14 @@ class ProcessorSimulator:
         injector: Injector = no_injection,
         module_overrides: Mapping[str, ModuleOverride] | None = None,
         max_fixpoint_iters: int = 8,
+        compiled: bool = True,
     ) -> None:
         self.processor = processor
-        self.dp_sim = DatapathSimulator(
+        # The compiled kernels are the production path; ``compiled=False``
+        # selects the interpretive simulator, kept as the differential
+        # oracle (see tests/test_compiled_differential.py).
+        dp_cls = CompiledDatapathSimulator if compiled else DatapathSimulator
+        self.dp_sim = dp_cls(
             processor.datapath, injector=injector,
             module_overrides=module_overrides,
         )
@@ -238,8 +244,9 @@ class GoldenTraceCache:
     be reused by a different machine while its entries are alive.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256, compiled: bool = True) -> None:
         self.max_entries = max_entries
+        self.compiled = compiled
         self.hits = 0
         self.misses = 0
         self._traces: dict[tuple, Trace] = {}
@@ -264,7 +271,7 @@ class GoldenTraceCache:
             self._traces[key] = cached  # re-insert: most recently used
             return cached
         self.misses += 1
-        simulator = ProcessorSimulator(processor)
+        simulator = ProcessorSimulator(processor, compiled=self.compiled)
         simulator.set_stimulus_state(stimulus_state)
         trace = simulator.run(cpi_frames, dpi_frames)
         self._traces[key] = trace
