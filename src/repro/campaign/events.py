@@ -20,11 +20,17 @@ wall-clock time):
 ``error-profile``
     ``error``, ``index``, ``phase_seconds`` (CPU seconds per TG phase:
     dptrace / ctrljust / dprelax / cosim), ``golden_hits``,
-    ``golden_misses``.  Emitted only when profiling is enabled
+    ``golden_misses``, ``exposure_forks``, ``exposure_fork_decided``,
+    ``backtracks``, plus the search-accelerator counters
+    ``nogood_hits`` / ``nogood_misses`` (learned no-good lookups),
+    ``justify_cache_hits`` (memoized CTRLJUST answers),
+    ``path_cache_hits`` / ``path_cache_misses`` (DPTRACE selections) and
+    ``dptrace_sweeps_avoided`` (full C/O recomputes the incremental
+    session replaced).  Emitted only when profiling is enabled
     (``--profile``).
 ``profile-summary``
-    ``phase_seconds`` (summed over every error), ``golden_hits``,
-    ``golden_misses``.  One per profiled campaign, before
+    The same fields as ``error-profile`` (minus ``error``/``index``),
+    summed over every error.  One per profiled campaign, before
     ``campaign-finished``.
 ``test-dropped-others``
     ``error`` (whose test was simulated), ``dropped`` (list of error
@@ -184,6 +190,16 @@ class ProgressRenderer:
             self._line(f"profile: {phases or 'no phase samples'}; "
                        f"golden cache {data['golden_hits']} hit(s), "
                        f"{data['golden_misses']} fault-free sim(s)")
+            if "nogood_hits" in data:
+                self._line(
+                    f"profile: search accel: "
+                    f"{data['nogood_hits']} nogood hit(s) "
+                    f"({data['nogood_misses']} miss(es)), "
+                    f"{data['justify_cache_hits']} memoized "
+                    f"justification(s), "
+                    f"{data['path_cache_hits']} path-cache hit(s), "
+                    f"{data['dptrace_sweeps_avoided']} co-state "
+                    f"sweep(s) avoided")
         elif event.kind == "campaign-finished":
             self._line(f"campaign finished: {data['n_detected']} detected, "
                        f"{data['n_aborted']} aborted "

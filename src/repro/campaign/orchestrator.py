@@ -89,13 +89,29 @@ def _worker_init(target: str, deadline_seconds: float) -> None:
     _WORKER_CAMPAIGN = build_campaign(target, deadline_seconds)
 
 
-def _worker_run(item: tuple[int, DesignError]):
-    index, error = item
+def _worker_run(item: tuple[int, DesignError, list]):
+    """Run one error in the worker; pool learned no-goods both ways.
+
+    The coordinator ships every record it knows with the task; the worker
+    merges them (idempotent) before searching, and returns only what it
+    learned locally since its last report (``export_records`` drains the
+    fresh list; merged foreign records never re-export).
+    """
+    from repro.campaign.serialize import (
+        nogood_records_from_wire,
+        nogood_records_to_wire,
+    )
+
+    index, error, records = item
+    nogoods = _WORKER_CAMPAIGN.generator.nogoods
+    if records:
+        nogoods.merge_records(nogood_records_from_wire(records))
     outcome, realized = _WORKER_CAMPAIGN._run_error_with_test(error)
     test = None
     if realized is not None:
         test = _WORKER_CAMPAIGN.serialize_realized(realized)
-    return index, vars(outcome).copy(), test
+    learned = nogood_records_to_wire(nogoods.export_records())
+    return index, vars(outcome).copy(), test, learned
 
 
 def campaign_run_to_dict(
@@ -260,8 +276,18 @@ class CampaignOrchestrator:
         report: CampaignReport,
         checkpoint: CampaignCheckpoint | None,
     ) -> None:
+        from repro.campaign.serialize import (
+            nogood_records_from_wire,
+            nogood_records_to_wire,
+        )
+
         config = self.config
         queue: deque[tuple[int, DesignError]] = deque(pending)
+        #: The coordinator's pooled no-good store: everything any worker
+        #: has reported so far, fanned back out with each dispatch.  It
+        #: rides on the coordinator campaign's own generator so a later
+        #: in-process run (or serial fallback) keeps the learning.
+        pooled = self.campaign.generator.nogoods
         with ProcessPoolExecutor(
             max_workers=config.jobs,
             initializer=_worker_init,
@@ -275,7 +301,10 @@ class CampaignOrchestrator:
                     self.events.emit(
                         "error-started", error=error.describe(), index=index
                     )
-                    future = pool.submit(_worker_run, (index, error))
+                    known = nogood_records_to_wire(pooled.all_records())
+                    future = pool.submit(
+                        _worker_run, (index, error, known)
+                    )
                     in_flight[future] = (index, error)
 
             dispatch()
@@ -287,8 +316,12 @@ class CampaignOrchestrator:
                 for future in sorted(done, key=lambda f: in_flight[f][0]):
                     index, error = in_flight.pop(future)
                     try:
-                        _, outcome_dict, test = future.result()
+                        _, outcome_dict, test, learned = future.result()
                         outcome = ErrorOutcome(**outcome_dict)
+                        if learned:
+                            pooled.merge_records(
+                                nogood_records_from_wire(learned)
+                            )
                     except Exception:
                         # A lost worker aborts the error, not the campaign.
                         outcome, test = ErrorOutcome(
@@ -371,6 +404,13 @@ class CampaignOrchestrator:
                 golden_misses=outcome.golden_misses,
                 exposure_forks=outcome.exposure_forks,
                 exposure_fork_decided=outcome.exposure_fork_decided,
+                backtracks=outcome.backtracks,
+                nogood_hits=outcome.nogood_hits,
+                nogood_misses=outcome.nogood_misses,
+                justify_cache_hits=outcome.justify_cache_hits,
+                path_cache_hits=outcome.path_cache_hits,
+                path_cache_misses=outcome.path_cache_misses,
+                dptrace_sweeps_avoided=outcome.dptrace_sweeps_avoided,
             )
 
     def _emit_profile_summary(self, report: CampaignReport) -> None:
@@ -378,14 +418,24 @@ class CampaignOrchestrator:
         for outcome in report.outcomes:
             for phase, seconds in outcome.phase_seconds.items():
                 phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+        outcomes = report.outcomes
         self.events.emit(
             "profile-summary",
             phase_seconds=phase_seconds,
-            golden_hits=sum(o.golden_hits for o in report.outcomes),
-            golden_misses=sum(o.golden_misses for o in report.outcomes),
-            exposure_forks=sum(o.exposure_forks for o in report.outcomes),
+            golden_hits=sum(o.golden_hits for o in outcomes),
+            golden_misses=sum(o.golden_misses for o in outcomes),
+            exposure_forks=sum(o.exposure_forks for o in outcomes),
             exposure_fork_decided=sum(
-                o.exposure_fork_decided for o in report.outcomes
+                o.exposure_fork_decided for o in outcomes
+            ),
+            backtracks=report.backtracks_total,
+            nogood_hits=sum(o.nogood_hits for o in outcomes),
+            nogood_misses=sum(o.nogood_misses for o in outcomes),
+            justify_cache_hits=sum(o.justify_cache_hits for o in outcomes),
+            path_cache_hits=sum(o.path_cache_hits for o in outcomes),
+            path_cache_misses=sum(o.path_cache_misses for o in outcomes),
+            dptrace_sweeps_avoided=sum(
+                o.dptrace_sweeps_avoided for o in outcomes
             ),
         )
 

@@ -48,6 +48,15 @@ class ErrorOutcome:
     #: bad-machine co-simulation (see ``repro.datapath.faultsim``).
     exposure_forks: int = 0
     exposure_fork_decided: int = 0
+    #: Search-accelerator traffic (see ``repro.core.nogoods``): learned
+    #: no-good and path-set cache hits/misses, memoized justification
+    #: answers, and full C/O sweeps the incremental DPTRACE avoided.
+    nogood_hits: int = 0
+    nogood_misses: int = 0
+    justify_cache_hits: int = 0
+    path_cache_hits: int = 0
+    path_cache_misses: int = 0
+    dptrace_sweeps_avoided: int = 0
 
 
 @dataclass
@@ -110,6 +119,28 @@ class CampaignReport:
         lines = [title, "-" * (width + 8)]
         lines += [f"{name:<{width}}{value:>6}" for name, value in rows]
         return "\n".join(lines)
+
+
+def _outcome_from_result(error: DesignError, result) -> ErrorOutcome:
+    """The (not-yet-detected) outcome skeleton carrying TG's statistics."""
+    return ErrorOutcome(
+        error=error.describe(),
+        detected=False,
+        backtracks=result.backtracks,
+        final_backtracks=result.final_backtracks,
+        attempts=result.attempts,
+        phase_seconds=dict(result.phase_seconds),
+        golden_hits=result.golden_hits,
+        golden_misses=result.golden_misses,
+        exposure_forks=result.exposure_forks,
+        exposure_fork_decided=result.exposure_fork_decided,
+        nogood_hits=result.nogood_hits,
+        nogood_misses=result.nogood_misses,
+        justify_cache_hits=result.justify_cache_hits,
+        path_cache_hits=result.path_cache_hits,
+        path_cache_misses=result.path_cache_misses,
+        dptrace_sweeps_avoided=result.dptrace_sweeps_avoided,
+    )
 
 
 class CampaignBase:
@@ -286,18 +317,7 @@ class DlxCampaign(CampaignBase):
 
         start = time.monotonic()
         result = self.generator.generate(error)
-        outcome = ErrorOutcome(
-            error=error.describe(),
-            detected=False,
-            backtracks=result.backtracks,
-            final_backtracks=result.final_backtracks,
-            attempts=result.attempts,
-            phase_seconds=dict(result.phase_seconds),
-            golden_hits=result.golden_hits,
-            golden_misses=result.golden_misses,
-            exposure_forks=result.exposure_forks,
-            exposure_fork_decided=result.exposure_fork_decided,
-        )
+        outcome = _outcome_from_result(error, result)
         realized = None
         if result.status is not TGStatus.DETECTED:
             outcome.failure_stage = "tg"
@@ -388,18 +408,7 @@ class MiniCampaign(CampaignBase):
 
         start = time.monotonic()
         result = self.generator.generate(error)
-        outcome = ErrorOutcome(
-            error=error.describe(),
-            detected=False,
-            backtracks=result.backtracks,
-            final_backtracks=result.final_backtracks,
-            attempts=result.attempts,
-            phase_seconds=dict(result.phase_seconds),
-            golden_hits=result.golden_hits,
-            golden_misses=result.golden_misses,
-            exposure_forks=result.exposure_forks,
-            exposure_fork_decided=result.exposure_fork_decided,
-        )
+        outcome = _outcome_from_result(error, result)
         realized = None
         if result.status is not TGStatus.DETECTED:
             outcome.failure_stage = "tg"

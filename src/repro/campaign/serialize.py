@@ -109,6 +109,45 @@ def realized_mini_from_dict(data: dict[str, Any]):
     )
 
 
+def _nogood_encode(value):
+    """Lower a no-good key/entry element to a JSON-able tagged form.
+
+    Keys mix nested tuples and frozensets of scalars; frozensets are
+    sorted so the wire form is canonical (equal keys encode equally).
+    """
+    if isinstance(value, tuple):
+        return ["t", *[_nogood_encode(v) for v in value]]
+    if isinstance(value, frozenset):
+        return ["f", *sorted(_nogood_encode(v) for v in value)]
+    return value
+
+
+def _nogood_decode(value):
+    if isinstance(value, list):
+        tag, items = value[0], value[1:]
+        if tag == "f":
+            return frozenset(_nogood_decode(v) for v in items)
+        return tuple(_nogood_decode(v) for v in items)
+    return value
+
+
+def nogood_records_to_wire(records) -> list:
+    """Learned no-good records as JSON-able lists (the orchestrator's
+    worker <-> coordinator transport; see ``repro.core.nogoods``)."""
+    return [
+        [_nogood_encode(key), _nogood_encode(blamed), backtracks]
+        for key, (blamed, backtracks) in records
+    ]
+
+
+def nogood_records_from_wire(data) -> list:
+    """Inverse of :func:`nogood_records_to_wire`."""
+    return [
+        (_nogood_decode(key), (_nogood_decode(blamed), backtracks))
+        for key, blamed, backtracks in data
+    ]
+
+
 def report_to_dict(report: CampaignReport) -> dict[str, Any]:
     return {
         "kind": "campaign-report",

@@ -86,6 +86,25 @@ class CompiledNetwork:
         self.fanout = [tuple(consumers) for consumers in fanout]
         self.external_ids = [i for i in range(n) if not self.is_driven[i]]
         self._backtrace_memo: list[dict | None] = [None] * n
+        self._baseline: tuple[list, list] | None = None
+
+    def baseline_state(self) -> tuple[list[int | None], list[int | None]]:
+        """(values, computed) of the empty assignment, computed once.
+
+        Every :class:`ImplicationSession` over an empty base assignment
+        starts from this same fixpoint; CTRLJUST (and especially TG's
+        ``_blame`` prefix probes) construct many such sessions per
+        window, so copying two arrays beats re-evaluating every node.
+        """
+        if self._baseline is None:
+            values: list[int | None] = [None] * len(self.names)
+            computed: list[int | None] = [None] * len(self.names)
+            for out in self.topo_ids:
+                state = self.compute_node(out, values)
+                computed[out] = state
+                values[out] = state
+            self._baseline = (values, computed)
+        return self._baseline
 
     # ------------------------------------------------------------------
     # Full sweep (the compiled form of ControlNetwork.evaluate)
@@ -229,10 +248,15 @@ class ImplicationSession:
                 i = index[name]
                 if not compiled.is_driven[i]:
                     self.values[i] = value
-        for out in compiled.topo_ids:
-            computed = compiled.compute_node(out, self.values)
-            self.computed[out] = computed
-            self.values[out] = computed
+            for out in compiled.topo_ids:
+                computed = compiled.compute_node(out, self.values)
+                self.computed[out] = computed
+                self.values[out] = computed
+        else:
+            # The empty-base fixpoint is shared by every fresh session.
+            values, computed = compiled.baseline_state()
+            self.values = list(values)
+            self.computed = list(computed)
 
     # ------------------------------------------------------------------
     # Queries
@@ -328,35 +352,52 @@ class ImplicationSession:
         Levels strictly increase along every edge, so processing the queue
         in level order evaluates each node at most once per assume with
         all of its (possibly changed) inputs already final.
+
+        This is the hottest loop of the whole test generator (hundreds of
+        thousands of node evaluations per CTRLJUST search), hence the
+        flattened style: heap entries are ``level * n + id`` packed ints
+        (cheaper to compare than tuples), and the per-node evaluation is
+        inlined rather than calling ``compute_node``.
         """
         comp = self.compiled
         level = comp.level
-        queue = [(level[out], out) for out in seeds]
+        n = len(level)
+        inputs_of, eval_of, fanout = comp.inputs_of, comp.eval_of, comp.fanout
+        heappush, heappop = heapq.heappush, heapq.heappop
+        queue = [level[out] * n + out for out in seeds]
         heapq.heapify(queue)
-        scheduled = set(out for _, out in queue)
+        scheduled = set(queue)
         trail = self._trail
+        trail_append = trail.append
         values, computed = self.values, self.computed
         overrides = self.overrides
         while queue:
-            _, out = heapq.heappop(queue)
-            scheduled.discard(out)
-            new_computed = comp.compute_node(out, values)
+            packed = heappop(queue)
+            scheduled.discard(packed)
+            out = packed % n
+            new_computed = eval_of[out](
+                tuple([values[i] for i in inputs_of[out]])
+            )
             if new_computed != computed[out]:
-                trail.append((_T_COMPUTED, out, computed[out]))
+                trail_append((_T_COMPUTED, out, computed[out]))
                 computed[out] = new_computed
-            decided = overrides.get(out)
+            if overrides:
+                decided = overrides.get(out)
+            else:
+                decided = None
             if decided is not None:
                 self._reclassify(out, decided)
                 effective = decided
             else:
                 effective = new_computed
             if effective != values[out]:
-                trail.append((_T_VALUE, out, values[out]))
+                trail_append((_T_VALUE, out, values[out]))
                 values[out] = effective
-                for consumer in comp.fanout[out]:
-                    if consumer not in scheduled:
-                        scheduled.add(consumer)
-                        heapq.heappush(queue, (level[consumer], consumer))
+                for consumer in fanout[out]:
+                    entry = level[consumer] * n + consumer
+                    if entry not in scheduled:
+                        scheduled.add(entry)
+                        heappush(queue, entry)
 
     # ------------------------------------------------------------------
     # Justified / conflicting bookkeeping

@@ -35,6 +35,7 @@ them.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from repro.controller.implication import ImplicationSession
@@ -67,6 +68,9 @@ class JustResult:
     implied: dict[str, int | None] = field(default_factory=dict)
     backtracks: int = 0
     decisions: int = 0
+    #: The search was cut short by the caller's deadline: the FAILURE is
+    #: time-bound, not a proof — never cache or learn from it.
+    deadline_hit: bool = False
 
     def sts_requirements(
         self, unrolled: UnrolledController
@@ -183,12 +187,16 @@ class CtrlJust:
         max_backtracks: int = 1000,
         variant: int = 0,
         incremental: bool = True,
+        deadline: float | None = None,
     ) -> None:
         self.unrolled = unrolled
         self.network = unrolled.network
         self.max_backtracks = max_backtracks
         #: Event-driven implication (default) vs the full-sweep oracle.
         self.incremental = incremental
+        #: Absolute ``time.process_time()`` budget; the search returns a
+        #: (non-cacheable) FAILURE promptly once it passes.
+        self.deadline = deadline
         #: Diversification index: rotates backtrace option order so retries
         #: explore different (equally valid) justifications, e.g. a
         #: different store opcode for the same memwrite objective.
@@ -227,6 +235,13 @@ class CtrlJust:
             state = _FullSweepState(self.network, assignment, cti_values)
 
         while True:
+            if (
+                self.deadline is not None
+                and time.process_time() > self.deadline
+            ):
+                return JustResult(JustStatus.FAILURE, backtracks=backtracks,
+                                  decisions=decision_count,
+                                  deadline_hit=True)
             state.refresh()
             values = state.values
             conflict = state.has_conflict
@@ -278,6 +293,15 @@ class CtrlJust:
                     return JustResult(JustStatus.FAILURE,
                                       backtracks=backtracks,
                                       decisions=decision_count)
+                if (
+                    backtracks % 64 == 0
+                    and self.deadline is not None
+                    and time.process_time() > self.deadline
+                ):
+                    return JustResult(JustStatus.FAILURE,
+                                      backtracks=backtracks,
+                                      decisions=decision_count,
+                                      deadline_hit=True)
                 if last.alternatives:
                     last.value = last.alternatives.pop(0)
                     self._apply(last, assignment, cti_values, state)

@@ -22,6 +22,7 @@ value)`` objectives that guide CTRLJUST (Figure 4).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -70,6 +71,9 @@ class TraceResult:
     #: (as opposed to routing its observation): the candidates to revisit
     #: when value selection cannot activate the error.
     control_side: frozenset = frozenset()
+    #: The search was cut short by the caller's deadline: the FAILURE is
+    #: time-bound, not a proof — never cache or learn from it.
+    deadline_hit: bool = False
 
 
 class DPTrace:
@@ -82,6 +86,8 @@ class DPTrace:
         max_backtracks: int = 200,
         discouraged: frozenset[tuple[CtrlVar, int]] | set = frozenset(),
         variant: int = 0,
+        incremental: bool = True,
+        deadline: float | None = None,
     ) -> None:
         self.analyzer = analyzer
         self.netlist = analyzer.netlist
@@ -95,7 +101,20 @@ class DPTrace:
         #: ranked choice lists by r, so re-selection explores different
         #: justification/propagation paths after a controller dead end.
         self.variant = variant
-        self._obs_distance = _observability_distance(self.netlist)
+        #: Event-driven incremental C/O propagation (the default):
+        #: decisions assume/retract on an
+        #: :class:`~repro.model.pathsession.AnalyzerSession` instead of
+        #: re-sweeping the window per iteration.  ``False`` keeps
+        #: ``analyzer.compute`` as the reference oracle.
+        self.incremental = incremental
+        #: Absolute ``time.process_time()`` budget; the search returns a
+        #: (non-cacheable) FAILURE promptly once it passes.
+        self.deadline = deadline
+        #: Loop iterations served by the session instead of a full sweep.
+        self.sweeps_avoided = 0
+        self._session = None
+        self._merged = dict(self.implied_ctrl)
+        self._obs_distance = _cached_observability_distance(self.netlist)
 
     def _rotate(self, items: list) -> list:
         if not items or self.variant == 0:
@@ -118,11 +137,31 @@ class DPTrace:
         backtracks = 0
         decision_count = 0
         target = (error_frame, error_net)
+        self._merged = dict(self.implied_ctrl)
+        if self.incremental:
+            from repro.model.pathsession import AnalyzerSession
 
-        while True:
-            states = self.analyzer.compute(
-                {**self.implied_ctrl, **ctrl_decided}, fo
+            self._session = AnalyzerSession(
+                self.analyzer, self.implied_ctrl, {}
             )
+            states = self._session.costates
+        else:
+            self._session = None
+
+        first = True
+        while True:
+            if (
+                self.deadline is not None
+                and time.process_time() > self.deadline
+            ):
+                return TraceResult(TraceStatus.FAILURE, backtracks=backtracks,
+                                   decisions=decision_count,
+                                   deadline_hit=True)
+            if self._session is None:
+                states = self.analyzer.compute(self._merged, fo)
+            elif not first:
+                self.sweeps_avoided += 1
+            first = False
             # The activation site must be *closed*: C4 (on a justification
             # path) or C3 (value determined — e.g. behind a shifter with a
             # constant amount; whether the determined value can activate
@@ -160,6 +199,14 @@ class DPTrace:
             if decision is None:
                 # Conflict (or no progress possible): backtrack.
                 while stack:
+                    if (
+                        self.deadline is not None
+                        and time.process_time() > self.deadline
+                    ):
+                        return TraceResult(
+                            TraceStatus.FAILURE, backtracks=backtracks,
+                            decisions=decision_count, deadline_hit=True,
+                        )
                     last = stack[-1]
                     self._unapply(last, ctrl_decided, fo)
                     if last.alternatives:
@@ -201,14 +248,23 @@ class DPTrace:
     def _apply(self, decision: Decision, ctrl, fo) -> None:
         if decision.kind == "ctrl":
             ctrl[decision.var] = decision.value
+            self._merged[decision.var] = decision.value
         else:
             fo[decision.var] = decision.value
+        if self._session is not None:
+            self._session.assume(decision.kind, decision.var, decision.value)
 
     def _unapply(self, decision: Decision, ctrl, fo) -> None:
         if decision.kind == "ctrl":
             ctrl.pop(decision.var, None)
+            if decision.var in self.implied_ctrl:  # pragma: no cover
+                self._merged[decision.var] = self.implied_ctrl[decision.var]
+            else:
+                self._merged.pop(decision.var, None)
         else:
             fo.pop(decision.var, None)
+        if self._session is not None:
+            self._session.retract()
 
     def _ctrl_value(self, ctrl_decided, frame: int, net: Net) -> int | None:
         key = (frame, net.name)
@@ -327,9 +383,7 @@ class DPTrace:
     ) -> Decision | None:
         if frame == 0:
             return None  # reset state is fixed (or already stimulus/C4)
-        route = self.analyzer._register_route(
-            reg, frame - 1, {**self.implied_ctrl, **ctrl_decided}
-        )
+        route = self.analyzer._register_route(reg, frame - 1, self._merged)
         if route is None:
             # Gate the register open: enable=1 first, then clear=0.
             idx = 0
@@ -470,9 +524,7 @@ class DPTrace:
     ) -> Decision | None:
         if frame + 1 >= self.n_frames:
             return None
-        route = self.analyzer._register_route(
-            reg, frame, {**self.implied_ctrl, **ctrl_decided}
-        )
+        route = self.analyzer._register_route(reg, frame, self._merged)
         if route is None:
             idx = 0
             if reg.has_enable:
@@ -539,6 +591,17 @@ class DPTrace:
             if not advanced:
                 return path
         return path
+
+
+def _cached_observability_distance(netlist) -> dict[str, int]:
+    """Per-netlist memo of :func:`_observability_distance` (pure in the
+    netlist structure; DPTrace instances are built once per TG round)."""
+    cached = netlist.__dict__.get("_obs_distance_memo")
+    if cached is None:
+        cached = netlist.__dict__["_obs_distance_memo"] = (
+            _observability_distance(netlist)
+        )
+    return cached
 
 
 def _observability_distance(netlist) -> dict[str, int]:

@@ -30,6 +30,12 @@ from repro.controller.pipeline import UnrolledController
 from repro.core.ctrljust import CtrlJust, JustStatus
 from repro.core.dprelax import DiscreteRelaxer
 from repro.core.dptrace import DPTrace, TraceStatus
+from repro.core.nogoods import (
+    LearnedNogoods,
+    PathCache,
+    blame_key,
+    justify_key,
+)
 from repro.errors.models import DesignError
 from repro.model.processor import Processor
 from repro.verify.cosim import (
@@ -110,6 +116,19 @@ class TGResult:
     #: co-simulation at all).
     exposure_forks: int = 0
     exposure_fork_decided: int = 0
+    #: Whether the most recent (window, activation frame) attempt reached
+    #: a justified DPTRACE/CTRLJUST pair — the justify-variant retry
+    #: heuristic keys off this.
+    last_attempt_justified: bool = False
+    #: Search-accelerator traffic for this error: learned-nogood and
+    #: path-set cache hits/misses, memoized justification answers, and
+    #: full C/O sweeps the incremental DPTRACE session avoided.
+    nogood_hits: int = 0
+    nogood_misses: int = 0
+    justify_cache_hits: int = 0
+    path_cache_hits: int = 0
+    path_cache_misses: int = 0
+    dptrace_sweeps_avoided: int = 0
 
 
 @dataclass
@@ -139,6 +158,15 @@ class TestGenerator:
     #: Event-driven incremental implication in CTRLJUST (the default);
     #: ``False`` selects the full-sweep reference oracle.
     use_incremental_implication: bool = True
+    #: Event-driven incremental C/O propagation in DPTRACE (the default);
+    #: ``False`` re-sweeps the window per decision — the reference oracle.
+    use_incremental_dptrace: bool = True
+    #: Cross-error search memoization: learned no-goods, memoized
+    #: justification answers and the per-window path-set cache.  All
+    #: three are outcome-transparent (keys capture everything the
+    #: deterministic searches depend on; hits replay recorded effort
+    #: counters), so disabling them changes wall clock only.
+    use_learned_nogoods: bool = True
     #: Run exposure checks on the compiled datapath kernels, screening the
     #: bad-machine co-simulation with a cone fork against the golden trace
     #: (:mod:`repro.datapath.faultsim`).  ``False`` restores the fully
@@ -159,6 +187,16 @@ class TestGenerator:
     _fork_sims: dict = field(default_factory=dict, repr=False)
     _fork_checks: int = field(default=0, repr=False)
     _fork_decided: int = field(default=0, repr=False)
+    #: Cross-error learned no-goods + memoized justification answers;
+    #: shared across ``generate()`` calls (one store per generator, so a
+    #: campaign's serial loop pools learning automatically) and shipped
+    #: between orchestrator workers as plain records.
+    nogoods: LearnedNogoods = field(
+        default_factory=LearnedNogoods, repr=False
+    )
+    #: Memoized DPTRACE selections per window fingerprint.
+    _path_cache: PathCache = field(default_factory=PathCache, repr=False)
+    _sweeps_avoided: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_frames is None:
@@ -190,32 +228,44 @@ class TestGenerator:
     def generate(self, error: DesignError) -> TGResult:
         """Generate (and verify by co-simulation) a test for ``error``."""
         started = time.process_time()
+        deadline_at = (
+            started + self.deadline_seconds
+            if self.deadline_seconds is not None
+            else None
+        )
         site = self._site_net(error)
         result = TGResult(TGStatus.ABORTED, error=error.describe())
         discouraged: set = set()
         base_hits, base_misses = self._golden.hits, self._golden.misses
         base_forks, base_decided = self._fork_checks, self._fork_decided
+        nogoods, cache = self.nogoods, self._path_cache
+        base_ng = (nogoods.hits, nogoods.misses, nogoods.justify_hits,
+                   cache.hits, cache.misses, self._sweeps_avoided)
         try:
             for n_frames in range(self.min_frames, self.max_frames + 1):
                 for act_frame in range(n_frames - 1, -1, -1):
                     if (
-                        self.deadline_seconds is not None
-                        and time.process_time() - started
-                        > self.deadline_seconds
+                        deadline_at is not None
+                        and time.process_time() > deadline_at
                     ):
                         return result
                     result.attempts += 1
                     for jv in range(self.justify_variants):
+                        if (
+                            deadline_at is not None
+                            and time.process_time() > deadline_at
+                        ):
+                            return result
                         test = self._attempt(
                             error, site, n_frames, act_frame, result,
-                            discouraged, jv,
+                            discouraged, jv, deadline_at,
                         )
                         if test is not None:
                             result.status = TGStatus.DETECTED
                             result.test = test
                             result.frames_used = n_frames
                             return result
-                        if jv == 0 and not self._had_justification(result):
+                        if jv == 0 and not result.last_attempt_justified:
                             break  # variants only help when a path justified
             return result
         finally:
@@ -223,9 +273,14 @@ class TestGenerator:
             result.golden_misses = self._golden.misses - base_misses
             result.exposure_forks = self._fork_checks - base_forks
             result.exposure_fork_decided = self._fork_decided - base_decided
-
-    def _had_justification(self, result: TGResult) -> bool:
-        return getattr(self, "_last_attempt_justified", False)
+            result.nogood_hits = nogoods.hits - base_ng[0]
+            result.nogood_misses = nogoods.misses - base_ng[1]
+            result.justify_cache_hits = nogoods.justify_hits - base_ng[2]
+            result.path_cache_hits = cache.hits - base_ng[3]
+            result.path_cache_misses = cache.misses - base_ng[4]
+            result.dptrace_sweeps_avoided = (
+                self._sweeps_avoided - base_ng[5]
+            )
 
     def _site_net(self, error: DesignError) -> str:
         try:
@@ -245,10 +300,11 @@ class TestGenerator:
         result: TGResult,
         discouraged: set,
         justify_variant: int = 0,
+        deadline_at: float | None = None,
     ) -> TestCase | None:
         analyzer = self._analyzer(n_frames)
         unrolled = self._unroll(n_frames)
-        self._last_attempt_justified = False
+        result.last_attempt_justified = False
 
         # Round-trip DPTRACE <-> CTRLJUST until the paths are consistent
         # with the implied control values (Figure 3 steps 5-6).  When the
@@ -260,15 +316,12 @@ class TestGenerator:
         last_good = None  # (trace, just, implied_ctrl)
         variant = 0
         for round_index in range(self.max_rounds):
-            tracer = DPTrace(
-                analyzer, implied_ctrl,
-                max_backtracks=self.dptrace_backtrack_limit,
-                discouraged=discouraged,
-                variant=variant,
+            if deadline_at is not None and time.process_time() > deadline_at:
+                break
+            trace = self._select_paths(
+                analyzer, site, act_frame, n_frames, implied_ctrl,
+                discouraged, variant, result, deadline_at,
             )
-            phase_start = time.process_time()
-            trace = tracer.select_paths(site, act_frame)
-            self._phase(result, "dptrace", phase_start)
             result.dptrace_backtracks += trace.backtracks
             if trace.status is not TraceStatus.SUCCESS:
                 break  # keep the last consistent pair, if any
@@ -277,17 +330,40 @@ class TestGenerator:
             # controller must keep satisfying the earlier path objectives.
             accumulated.update(trace.ctrl_objectives)
             control_side_acc |= set(trace.control_side)
+            accumulated_items = tuple(accumulated.items())
+            nogood = None
+            if self.use_learned_nogoods:
+                bkey = blame_key(
+                    n_frames, accumulated_items,
+                    tuple(trace.ctrl_objectives.items()),
+                    trace.control_side, justify_variant,
+                    (self.ctrljust_backtrack_limit,
+                     self._blame_backtrack_limit()),
+                )
+                nogood = self.nogoods.lookup_blame(bkey)
+            if nogood is not None:
+                # A previous error already proved this objective set
+                # unjustifiable and localized the conflict: replay the
+                # recorded outcome (backtracks included) without running
+                # CTRLJUST or the blame probes at all.
+                blamed, recorded_backtracks = nogood
+                result.ctrljust_backtracks += recorded_backtracks
+                result.backtracks += recorded_backtracks
+                for item in blamed:
+                    discouraged.add(item)
+                accumulated = {}
+                implied_ctrl = {}
+                variant += 1
+                continue
             objectives = [
                 (unrolled.instance(frame, name), value)
-                for (frame, name), value in accumulated.items()
+                for (frame, name), value in accumulated_items
             ]
-            engine = CtrlJust(
-                unrolled, max_backtracks=self.ctrljust_backtrack_limit,
-                variant=justify_variant,
-                incremental=self.use_incremental_implication,
-            )
             phase_start = time.process_time()
-            just = engine.justify(objectives)
+            just = self._justify(
+                unrolled, objectives, accumulated_items, justify_variant,
+                self.ctrljust_backtrack_limit, deadline_at,
+            )
             self._phase(result, "ctrljust", phase_start)
             result.ctrljust_backtracks += just.backtracks
             result.backtracks += just.backtracks
@@ -296,12 +372,19 @@ class TestGenerator:
                 # discourage only that one; then re-select on a rotated
                 # ordering from a clean slate.
                 phase_start = time.process_time()
-                for item in self._blame(
+                blamed, tainted = self._blame(
                     unrolled, trace.ctrl_objectives, justify_variant,
-                    set(trace.control_side),
-                ):
+                    set(trace.control_side), deadline_at,
+                )
+                for item in blamed:
                     discouraged.add(item)
                 self._phase(result, "ctrljust", phase_start)
+                if (
+                    self.use_learned_nogoods
+                    and not tainted
+                    and not just.deadline_hit
+                ):
+                    self.nogoods.record_blame(bkey, blamed, just.backtracks)
                 accumulated = {}
                 implied_ctrl = {}
                 variant += 1
@@ -311,7 +394,7 @@ class TestGenerator:
             implied_ctrl = new_implied
             last_good = (trace, just, implied_ctrl)
             result.final_backtracks = trace.backtracks + just.backtracks
-            self._last_attempt_justified = True
+            result.last_attempt_justified = True
             if converged:
                 break
         if last_good is None:
@@ -331,6 +414,8 @@ class TestGenerator:
             if name in cpi_kinds:
                 decided_cpi[(frame, name)] = value
         for seed in UNMASK_SEEDS:
+            if deadline_at is not None and time.process_time() > deadline_at:
+                break
             relaxer = DiscreteRelaxer(
                 self.processor.datapath,
                 n_frames,
@@ -420,13 +505,79 @@ class TestGenerator:
             result.phase_seconds.get(phase, 0.0) + elapsed
         )
 
+    # ------------------------------------------------------------------
+    # Memoized search front ends
+    # ------------------------------------------------------------------
+    def _select_paths(
+        self, analyzer, site, act_frame, n_frames, implied_ctrl,
+        discouraged, variant, result: TGResult, deadline_at,
+    ):
+        """DPTRACE with the per-window path-set cache in front.
+
+        The key captures every input of the deterministic selection, so a
+        hit replays the identical :class:`TraceResult` (and its recorded
+        avoided-sweep count); deadline-cut failures are never stored.
+        """
+        key = None
+        if self.use_learned_nogoods:
+            key = PathCache.key(
+                n_frames, site, act_frame, implied_ctrl, discouraged,
+                variant, self.dptrace_backtrack_limit,
+            )
+            entry = self._path_cache.lookup(key)
+            if entry is not None:
+                trace, sweeps_avoided = entry
+                self._sweeps_avoided += sweeps_avoided
+                return trace
+        tracer = DPTrace(
+            analyzer, implied_ctrl,
+            max_backtracks=self.dptrace_backtrack_limit,
+            discouraged=discouraged,
+            variant=variant,
+            incremental=self.use_incremental_dptrace,
+            deadline=deadline_at,
+        )
+        phase_start = time.process_time()
+        trace = tracer.select_paths(site, act_frame)
+        self._phase(result, "dptrace", phase_start)
+        self._sweeps_avoided += tracer.sweeps_avoided
+        if key is not None:
+            self._path_cache.store(key, trace, tracer.sweeps_avoided)
+        return trace
+
+    def _blame_backtrack_limit(self) -> int:
+        return max(200, self.ctrljust_backtrack_limit // 4)
+
+    def _justify(
+        self, unrolled, objectives, key_items, justify_variant, limit,
+        deadline_at,
+    ):
+        """CTRLJUST with the justification-result memo in front."""
+
+        def compute():
+            engine = CtrlJust(
+                unrolled, max_backtracks=limit,
+                variant=justify_variant,
+                incremental=self.use_incremental_implication,
+                deadline=deadline_at,
+            )
+            return engine.justify(objectives)
+
+        if not self.use_learned_nogoods:
+            return compute()
+        key = justify_key(
+            unrolled.n_frames, key_items, justify_variant, limit
+        )
+        return self.nogoods.cached_justify(key, compute)
+
     def _blame(
         self,
         unrolled: UnrolledController,
         ctrl_objectives: dict,
         justify_variant: int,
         control_side: set | None = None,
-    ) -> list:
+        deadline_at: float | None = None,
+    ) -> tuple[list, bool]:
         """Greedy conflict localization after a CTRLJUST failure.
 
         Objectives are added one at a time (in selection order) until the
@@ -436,22 +587,30 @@ class TestGenerator:
         removing one makes the prefix justifiable again, that one is
         blamed instead.  Falls back to blaming everything when even single
         objectives justify (a genuinely joint conflict).
-        """
 
-        def justify(instances) -> bool:
-            engine = CtrlJust(
-                unrolled,
-                max_backtracks=max(200, self.ctrljust_backtrack_limit // 4),
-                variant=justify_variant,
-                incremental=self.use_incremental_implication,
+        Returns ``(blamed items, tainted)`` — tainted when the deadline
+        cut a probe short, so the (best-effort) result must not be
+        learned as a no-good.
+        """
+        limit = self._blame_backtrack_limit()
+
+        def justify(instances, key_items) -> bool | None:
+            just = self._justify(
+                unrolled, instances, tuple(key_items), justify_variant,
+                limit, deadline_at,
             )
-            return engine.justify(instances).status is JustStatus.SUCCESS
+            if just.deadline_hit:
+                return None
+            return just.status is JustStatus.SUCCESS
 
         items = list(ctrl_objectives.items())
         prefix: list = []
         for index, ((frame, name), value) in enumerate(items):
             prefix.append((unrolled.instance(frame, name), value))
-            if justify(prefix):
+            verdict = justify(prefix, items[: index + 1])
+            if verdict is None:
+                return items[: index + 1], True
+            if verdict:
                 continue
             # Prefer re-blaming an earlier flexible decision over the one
             # that happened to close the conflict.
@@ -461,10 +620,15 @@ class TestGenerator:
             ]
             for j in preferred:
                 trimmed = prefix[:j] + prefix[j + 1:]
-                if justify(trimmed):
-                    return [items[j]]
-            return [((frame, name), value)]
-        return items  # joint conflict: no single culprit found
+                verdict = justify(
+                    trimmed, items[:j] + items[j + 1: index + 1]
+                )
+                if verdict is None:
+                    return [((frame, name), value)], True
+                if verdict:
+                    return [items[j]], False
+            return [((frame, name), value)], False
+        return items, False  # joint conflict: no single culprit found
 
     def _bind_cpi_dpi(self, relaxer: DiscreteRelaxer, decided_cpi) -> None:
         """Pin DPI nets bound to CPI fields the controller search decided."""

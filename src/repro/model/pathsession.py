@@ -1,0 +1,477 @@
+"""Event-driven incremental C/O propagation over the unrolled datapath.
+
+:meth:`DatapathPathAnalyzer.compute` re-sweeps every net instance of the
+pipeframe window on each call, yet DPTRACE changes exactly one ``(CtrlVar,
+value)`` or ``FoVar`` decision between consecutive sweeps.  This module is
+the datapath counterpart of PR 2's
+:class:`~repro.controller.implication.ImplicationSession`:
+
+* :class:`AnalyzerSession` holds one C/O state *under construction*.  Its
+  ``net_c`` / ``port_c`` / ``net_o`` / ``port_o`` dicts are keyed exactly
+  like :class:`~repro.model.pathgraph.CoStates`, so the DPTRACE backtrace
+  helpers read them unchanged through the live :attr:`costates` view.
+* ``assume(kind, var, value)`` applies one decision and repropagates only
+  inside its fanout cone: a forward C wave in increasing ``(frame,
+  level)`` order, then a backward O wave in decreasing order, each unit
+  re-evaluated at most once per assume (priorities strictly increase
+  along every dependency edge).
+* ``retract()`` rewinds a mutation trail to the previous decision point
+  in O(changed) — no recomputation at all.
+
+Every per-node state function is *shared* with the full sweep: the
+session calls the analyzer's own ``_source_c`` / ``_input_branch_c`` /
+``_net_o`` / ``_module_input_o`` / ``_register_route``, so the two
+backends can only disagree on scheduling, which the differential tests
+pin down.  The register feedthrough joins of ``_backward_o`` (which the
+sweep accumulates destructively) are made retractable by tracking one
+contribution per ``(frame, register)`` crossing and re-joining them on
+demand.
+
+The full sweep remains the reference oracle behind DPTRACE's
+``incremental=`` knob.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.core.costates import (
+    CState,
+    add_c_forward,
+    and_c_forward,
+    mux_c_forward,
+    OState,
+)
+from repro.datapath.module import ModuleClass
+from repro.datapath.modules import RegisterModule
+from repro.datapath.net import NetRole
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from repro.model.pathgraph import CoStates, DatapathPathAnalyzer
+
+_MISSING = object()
+
+# Unit kinds.  C phase: sources, combinational modules, register D ports.
+# O phase: register crossings (contributions), nets, module input ports.
+_C_SRC, _C_MOD, _C_RPORT = 0, 1, 2
+_O_CONTRIB, _O_NET, _O_MOD = 0, 1, 2
+
+
+class _SessionMeta:
+    """Static per-netlist scheduling structure, cached on the analyzer."""
+
+    def __init__(self, analyzer: DatapathPathAnalyzer) -> None:
+        netlist = analyzer.netlist
+        #: Topological level per net name: 0 for sources, level of the
+        #: driving combinational module otherwise.
+        self.net_level: dict[str, int] = {}
+        #: Level per combinational module name (1 + max input net level).
+        self.mod_level: dict[str, int] = {}
+        self.modules = {m.name: m for m in netlist.modules.values()}
+        self.nets = netlist.nets
+        for net in netlist.nets.values():
+            self.net_level[net.name] = 0
+        for module in analyzer._order:
+            lvl = 1 + max(
+                (
+                    self.net_level.get(p.net.name, 0)
+                    for p in module.data_inputs
+                    if p.net is not None
+                ),
+                default=0,
+            )
+            self.mod_level[module.name] = lvl
+            out = module.output.net
+            self.net_level[out.name] = lvl
+        self.max_level = max(self.mod_level.values(), default=0) + 1
+
+        #: Nets whose C-state comes from `_source_c` (no comb driver).
+        self.source_nets: set[str] = set()
+        for net in netlist.nets.values():
+            driver = net.driver
+            if driver is None or driver.module.module_class in (
+                ModuleClass.SOURCE,
+                ModuleClass.STATE,
+            ):
+                self.source_nets.add(net.name)
+
+        #: Output-port mirrors per net name (`_port_c`'s second loop).
+        self.mirror_ports: dict[str, list[str]] = {}
+        for module in netlist.modules.values():
+            for port in module.outputs:
+                if port.net is not None:
+                    self.mirror_ports.setdefault(port.net.name, []).append(
+                        port.full_name
+                    )
+
+        #: Per net name: combinational consumer modules (C + O waves) and
+        #: registers reading it on D (their D-port C-state needs refresh).
+        self.comb_consumers: dict[str, list[str]] = {}
+        self.regd_consumers: dict[str, list[str]] = {}
+        for net in netlist.nets.values():
+            combs: list[str] = []
+            regds: list[str] = []
+            for port in net.sinks:
+                module = port.module
+                if isinstance(module, RegisterModule):
+                    if port is module.data_inputs[0]:
+                        regds.append(module.name)
+                elif port.kind.value != "control" and (
+                    module.module_class
+                    not in (ModuleClass.SOURCE, ModuleClass.STATE)
+                ):
+                    combs.append(module.name)
+            if combs:
+                self.comb_consumers[net.name] = list(dict.fromkeys(combs))
+            if regds:
+                self.regd_consumers[net.name] = regds
+
+        #: Registers whose next-frame Q depends on a net (D or Q input of
+        #: `_register_c`): net_c(f, X) change -> csrc(f+1, q_net(R)).
+        self.reg_c_dependents: dict[str, list[RegisterModule]] = {}
+        #: Registers joined into a net's D / hold feedthrough.
+        self.regs_by_dnet: dict[str, list[RegisterModule]] = {}
+        self.regs_by_qnet: dict[str, list[RegisterModule]] = {}
+        for reg in analyzer._registers:
+            d_name = reg.data_inputs[0].net.name
+            q_name = reg.output.net.name
+            self.reg_c_dependents.setdefault(d_name, []).append(reg)
+            if q_name != d_name:
+                self.reg_c_dependents.setdefault(q_name, []).append(reg)
+            self.regs_by_dnet.setdefault(d_name, []).append(reg)
+            self.regs_by_qnet.setdefault(q_name, []).append(reg)
+
+        #: CTRL net name -> consuming muxes / registers.
+        self.ctrl_muxes: dict[str, list[str]] = {}
+        self.ctrl_regs: dict[str, list[RegisterModule]] = {}
+        for module in analyzer._order:
+            if module.module_class is ModuleClass.MUX:
+                sel = module.control_inputs[0].net
+                self.ctrl_muxes.setdefault(sel.name, []).append(module.name)
+        for reg in analyzer._registers:
+            for port in reg.control_inputs:
+                if port.net is not None:
+                    self.ctrl_regs.setdefault(port.net.name, []).append(reg)
+
+
+def _session_meta(analyzer: DatapathPathAnalyzer) -> _SessionMeta:
+    meta = getattr(analyzer, "_session_meta", None)
+    if meta is None:
+        meta = analyzer._session_meta = _SessionMeta(analyzer)
+    return meta
+
+
+class _FeedthroughView:
+    """Dict-like join view over per-register crossing contributions.
+
+    ``_net_o`` consumes the sweep's accumulated ``reg_feedthrough`` /
+    ``hold_feedthrough`` maps; the session stores one contribution per
+    ``(frame, register)`` instead (so a single crossing can be
+    recomputed and trailed) and re-joins them through this view.  The
+    join is commutative and associative, so the result is identical to
+    the sweep's accumulation order.
+    """
+
+    __slots__ = ("contribs", "regs_by_net")
+
+    def __init__(self, contribs: dict, regs_by_net: dict) -> None:
+        self.contribs = contribs
+        self.regs_by_net = regs_by_net
+
+    def get(self, key, default=None):
+        frame, name = key
+        best = None
+        for reg in self.regs_by_net.get(name, ()):
+            c = self.contribs.get((frame, reg.name))
+            if c is None:
+                continue
+            if best is None:
+                best = c
+            elif OState.O3 in (best, c):
+                best = OState.O3
+            elif OState.O1 in (best, c):
+                best = OState.O1
+        return default if best is None else best
+
+    def __getitem__(self, key):
+        value = self.get(key)
+        if value is None:  # pragma: no cover - guarded by .get in _net_o
+            raise KeyError(key)
+        return value
+
+
+class AnalyzerSession:
+    """One incremental C/O propagation state over an analyzer's window."""
+
+    def __init__(
+        self,
+        analyzer: DatapathPathAnalyzer,
+        ctrl: dict[tuple[int, str], int],
+        fo: dict[tuple[int, str], int],
+    ) -> None:
+        self.analyzer = analyzer
+        self.meta = _session_meta(analyzer)
+        self.n_frames = analyzer.n_frames
+        self.ctrl: dict[tuple[int, str], int] = dict(ctrl)
+        self.fo: dict[tuple[int, str], int] = dict(fo)
+        states = analyzer.compute(self.ctrl, self.fo)
+        self.costates = states  # live view: dicts mutate in place
+        self.net_c = states.net_c
+        self.port_c = states.port_c
+        self.net_o = states.net_o
+        self.port_o = states.port_o
+        #: One O contribution per register crossing (frame f -> f+1),
+        #: keyed ``(f, register name)``; None when the route drops it.
+        self.contrib_d: dict[tuple[int, str], OState | None] = {}
+        self.contrib_q: dict[tuple[int, str], OState | None] = {}
+        self._d_view = _FeedthroughView(self.contrib_d, self.meta.regs_by_dnet)
+        self._h_view = _FeedthroughView(self.contrib_q, self.meta.regs_by_qnet)
+        for frame in range(self.n_frames - 1):
+            for reg in analyzer._registers:
+                d, q = self._crossing(reg, frame)
+                self.contrib_d[(frame, reg.name)] = d
+                self.contrib_q[(frame, reg.name)] = q
+        self._trail: list[tuple] = []
+        self._marks: list[int] = []
+        #: Units re-evaluated across the session's lifetime (observability
+        #: counter: compare with a full sweep's node count per decision).
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._marks)
+
+    def assume(self, kind: str, var: tuple[int, str], value: int) -> None:
+        """Apply one DPTRACE decision (``kind`` is "ctrl" or "fo")."""
+        frame, name = var
+        self._marks.append(len(self._trail))
+        c_queue: list[tuple] = []
+        c_scheduled: set = set()
+        o_seeds: set = set()
+        if kind == "ctrl":
+            self._set(self.ctrl, var, value)
+            self._seed_ctrl(frame, name, c_queue, c_scheduled, o_seeds)
+        elif kind == "fo":
+            self._set(self.fo, var, value)
+            self._seed_net_consumers(frame, name, c_queue, c_scheduled)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown decision kind {kind!r}")
+        self._run_c(c_queue, c_scheduled, o_seeds)
+        self._run_o(o_seeds)
+
+    def retract(self) -> None:
+        """Undo the most recent :meth:`assume` off the trail."""
+        if not self._marks:
+            raise IndexError("retract without a matching assume")
+        mark = self._marks.pop()
+        trail = self._trail
+        while len(trail) > mark:
+            target, key, old = trail.pop()
+            if old is _MISSING:
+                del target[key]
+            else:
+                target[key] = old
+
+    # ------------------------------------------------------------------
+    # Trail helpers
+    # ------------------------------------------------------------------
+    def _set(self, target: dict, key, value) -> None:
+        self._trail.append((target, key, target.get(key, _MISSING)))
+        target[key] = value
+
+    def _update(self, target: dict, key, value) -> bool:
+        old = target.get(key, _MISSING)
+        if old is value:
+            return False
+        self._trail.append((target, key, old))
+        target[key] = value
+        return True
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+    def _push_c(self, queue, scheduled, kind, frame, name) -> None:
+        unit = (kind, frame, name)
+        if unit in scheduled:
+            return
+        scheduled.add(unit)
+        if kind == _C_SRC:
+            level = 0
+        elif kind == _C_MOD:
+            level = self.meta.mod_level[name]
+        else:  # _C_RPORT: nothing depends on it; run at end of frame
+            level = self.meta.max_level
+        heapq.heappush(queue, (frame, level, kind, name))
+
+    def _seed_net_consumers(self, frame, name, queue, scheduled) -> None:
+        """net_c / branch state of ``(frame, name)`` may change."""
+        for mod_name in self.meta.comb_consumers.get(name, ()):
+            self._push_c(queue, scheduled, _C_MOD, frame, mod_name)
+        for reg_name in self.meta.regd_consumers.get(name, ()):
+            self._push_c(queue, scheduled, _C_RPORT, frame, reg_name)
+        if frame + 1 < self.n_frames:
+            for reg in self.meta.reg_c_dependents.get(name, ()):
+                self._push_c(
+                    queue, scheduled, _C_SRC, frame + 1, reg.output.net.name
+                )
+
+    def _seed_ctrl(self, frame, name, queue, scheduled, o_seeds) -> None:
+        meta = self.meta
+        if name in meta.source_nets:
+            # A datapath CTRL net: its own C-state flips C2 <-> C3.
+            self._push_c(queue, scheduled, _C_SRC, frame, name)
+        for mux_name in meta.ctrl_muxes.get(name, ()):
+            self._push_c(queue, scheduled, _C_MOD, frame, mux_name)
+            o_seeds.add((_O_MOD, frame, mux_name))
+        for reg in meta.ctrl_regs.get(name, ()):
+            if frame + 1 < self.n_frames:
+                self._push_c(
+                    queue, scheduled, _C_SRC, frame + 1, reg.output.net.name
+                )
+                o_seeds.add((_O_CONTRIB, frame, reg.name))
+
+    # ------------------------------------------------------------------
+    # Forward C wave
+    # ------------------------------------------------------------------
+    def _run_c(self, queue, scheduled, o_seeds) -> None:
+        analyzer = self.analyzer
+        meta = self.meta
+        while queue:
+            frame, _level, kind, name = heapq.heappop(queue)
+            scheduled.discard((kind, frame, name))
+            self.propagations += 1
+            if kind == _C_SRC:
+                net = meta.nets[name]
+                state = analyzer._source_c(net, frame, self.net_c, self.ctrl)
+                if self._update(self.net_c, (frame, name), state):
+                    self._mirror(frame, name, state)
+                    self._seed_net_consumers(frame, name, queue, scheduled)
+            elif kind == _C_MOD:
+                self._run_c_module(frame, name, queue, scheduled, o_seeds)
+            else:  # _C_RPORT: register D-port branch state (read by DPTRACE)
+                reg = meta.modules[name]
+                port = reg.data_inputs[0]
+                state = analyzer._input_branch_c(
+                    self.net_c, self.ctrl, self.fo, frame, port
+                )
+                self._update(self.port_c, (frame, port.full_name), state)
+
+    def _run_c_module(self, frame, name, queue, scheduled, o_seeds) -> None:
+        analyzer = self.analyzer
+        module = self.meta.modules[name]
+        input_states = []
+        ports_changed = False
+        for port in module.data_inputs:
+            state = analyzer._input_branch_c(
+                self.net_c, self.ctrl, self.fo, frame, port
+            )
+            input_states.append(state)
+            if self._update(self.port_c, (frame, port.full_name), state):
+                ports_changed = True
+        if ports_changed:
+            o_seeds.add((_O_MOD, frame, name))
+        if module.module_class is ModuleClass.ADD:
+            state = add_c_forward(input_states)
+        elif module.module_class is ModuleClass.AND:
+            state = and_c_forward(input_states)
+        elif module.module_class is ModuleClass.MUX:
+            selected = analyzer._mux_selected(module, frame, self.ctrl)
+            state = mux_c_forward(input_states, selected)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(module.module_class)
+        out_name = module.output.net.name
+        if self._update(self.net_c, (frame, out_name), state):
+            self._mirror(frame, out_name, state)
+            self._seed_net_consumers(frame, out_name, queue, scheduled)
+
+    def _mirror(self, frame, net_name, state: CState) -> None:
+        for full_name in self.meta.mirror_ports.get(net_name, ()):
+            self._update(self.port_c, (frame, full_name), state)
+
+    # ------------------------------------------------------------------
+    # Backward O wave
+    # ------------------------------------------------------------------
+    def _o_priority(self, unit) -> tuple:
+        kind, frame, name = unit
+        if kind == _O_CONTRIB:
+            # Depends only on frame+1: first within its frame.
+            return (-frame, -self.meta.max_level - 1, 0, name)
+        if kind == _O_NET:
+            return (-frame, -self.meta.net_level.get(name, 0), 1, name)
+        return (-frame, -self.meta.mod_level[name], 2, name)
+
+    def _run_o(self, seeds) -> None:
+        analyzer = self.analyzer
+        meta = self.meta
+        queue = [(*self._o_priority(unit), unit) for unit in seeds]
+        heapq.heapify(queue)
+        scheduled = set(seeds)
+
+        def push(unit):
+            if unit not in scheduled:
+                scheduled.add(unit)
+                heapq.heappush(queue, (*self._o_priority(unit), unit))
+
+        while queue:
+            unit = heapq.heappop(queue)[-1]
+            scheduled.discard(unit)
+            kind, frame, name = unit
+            self.propagations += 1
+            if kind == _O_CONTRIB:
+                reg = meta.modules[name]
+                d, q = self._crossing(reg, frame)
+                d_changed = self._update(self.contrib_d, (frame, name), d)
+                q_changed = self._update(self.contrib_q, (frame, name), q)
+                if d_changed:
+                    push((_O_NET, frame, reg.data_inputs[0].net.name))
+                if q_changed:
+                    push((_O_NET, frame, reg.output.net.name))
+            elif kind == _O_NET:
+                net = meta.nets[name]
+                tmp: dict = {}
+                analyzer._net_o(
+                    tmp, self.port_o, self._d_view, self._h_view,
+                    frame, net, self.ctrl,
+                )
+                if self._update(self.net_o, (frame, name), tmp[(frame, name)]):
+                    driver = net.driver
+                    if (
+                        driver is not None
+                        and driver.module.name in meta.mod_level
+                    ):
+                        push((_O_MOD, frame, driver.module.name))
+                    if frame > 0:
+                        for reg in meta.regs_by_qnet.get(name, ()):
+                            push((_O_CONTRIB, frame - 1, reg.name))
+            else:  # _O_MOD: recompute input-port O-states of one module
+                module = meta.modules[name]
+                out_state = self.net_o[(frame, module.output.net.name)]
+                tmp = {}
+                analyzer._module_input_o(
+                    tmp, self.port_c, out_state, module, frame, self.ctrl
+                )
+                for (f, full_name), state in tmp.items():
+                    if self._update(self.port_o, (f, full_name), state):
+                        port = next(
+                            p for p in module.data_inputs
+                            if p.full_name == full_name
+                        )
+                        push((_O_NET, f, port.net.name))
+
+    def _crossing(self, reg: RegisterModule, frame: int):
+        """Contributions of the ``frame -> frame + 1`` register crossing
+        (the session form of ``_backward_o`` pass 2)."""
+        q_state = self.net_o[(frame + 1, reg.output.net.name)]
+        route = self.analyzer._register_route(reg, frame, self.ctrl)
+        if route == "d":
+            return q_state, None
+        if route == "hold":
+            return None, q_state
+        if route == "clear":
+            return None, None
+        downgraded = OState.O1 if q_state is not OState.O2 else OState.O2
+        return downgraded, downgraded

@@ -188,12 +188,13 @@ def test_resume_with_complete_checkpoint_does_no_work(tmp_path):
 def test_worker_entry_points_in_process():
     """The pool worker functions themselves, run in-process."""
     _worker_init("mini", 10.0)
-    index, outcome_dict, test = _worker_run((7, ERRORS[0]))
+    index, outcome_dict, test, learned = _worker_run((7, ERRORS[0], []))
     assert index == 7
     assert outcome_dict["detected"]
     assert outcome_dict["error"] == ERRORS[0].describe()
     assert test["kind"] == "mini-test"
     assert len(test["program"]) == outcome_dict["test_length"]
+    assert isinstance(learned, list)
 
 
 def test_campaign_run_to_dict_shape():

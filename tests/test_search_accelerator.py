@@ -1,0 +1,273 @@
+"""Differential pinning of the TG search accelerators.
+
+Three accelerators (incremental C/O propagation in DPTRACE, learned
+no-goods + memoized justifications in CTRLJUST, the per-window path-set
+cache) claim to be *outcome-transparent*: turning them on changes wall
+clock only, never a search result.  These tests enforce that claim
+against the interpretive oracles:
+
+* random assume/retract walks on :class:`AnalyzerSession` must equal a
+  full ``analyzer.compute`` of the same assignment at every checkpoint;
+* ``DPTrace(incremental=True)`` must produce bit-identical
+  :class:`TraceResult`\\ s to the full-recompute path;
+* ``TestGenerator`` with learning on must produce identical outcomes
+  and backtrack statistics to learning off, on MiniPipe and DLX;
+* deadline-tainted results must never enter any cache, and deadlines
+  must abort promptly (the PR's deadline-threading bugfix).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ctrljust import CtrlJust, JustResult, JustStatus
+from repro.core.dptrace import DPTrace, TraceResult, TraceStatus
+from repro.core.nogoods import (
+    LearnedNogoods,
+    PathCache,
+    blame_key,
+    justify_key,
+)
+from repro.core.tg import TestGenerator, TGStatus
+from repro.errors.models import enumerate_bus_ssl
+from repro.mini.machine import build_minipipe
+from repro.model.pathsession import AnalyzerSession, _session_meta
+
+N_FRAMES = 4
+
+
+@pytest.fixture(scope="module")
+def mini():
+    return build_minipipe()
+
+
+@pytest.fixture(scope="module")
+def analyzer(mini):
+    return mini.analyzer(N_FRAMES)
+
+
+def _decision_candidates(analyzer):
+    """All (kind, var, value) decisions a walk may apply."""
+    meta = _session_meta(analyzer)
+    ctrl_nets = sorted(set(meta.ctrl_muxes) | set(meta.ctrl_regs))
+    candidates = []
+    for frame in range(analyzer.n_frames):
+        for name in ctrl_nets:
+            for value in (0, 1):
+                candidates.append(("ctrl", (frame, name), value))
+    for name, sinks in sorted(meta.comb_consumers.items()):
+        if len(sinks) > 1:
+            for frame in range(analyzer.n_frames):
+                for value in range(len(sinks)):
+                    candidates.append(("fo", (frame, name), value))
+    return candidates
+
+
+def _assert_states_equal(session, analyzer):
+    full = analyzer.compute(session.ctrl, session.fo)
+    assert session.net_c == full.net_c
+    assert session.port_c == full.port_c
+    assert session.net_o == full.net_o
+    assert session.port_o == full.port_o
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10_000), st.booleans()),
+        max_size=24,
+    )
+)
+def test_session_walk_matches_full_compute(mini, analyzer, steps):
+    """Random assume/retract walks equal a fresh full sweep throughout."""
+    candidates = _decision_candidates(analyzer)
+    session = AnalyzerSession(analyzer, {}, {})
+    depth = 0
+    for pick, pop in steps:
+        if pop and depth:
+            session.retract()
+            depth -= 1
+        else:
+            kind, var, value = candidates[pick % len(candidates)]
+            session.assume(kind, var, value)
+            depth += 1
+        _assert_states_equal(session, analyzer)
+    while depth:
+        session.retract()
+        depth -= 1
+    _assert_states_equal(session, analyzer)
+
+
+def _trace_fields(trace: TraceResult) -> tuple:
+    return (
+        trace.status,
+        trace.ctrl_objectives,
+        trace.fo_choices,
+        trace.propagation_path,
+        trace.backtracks,
+        trace.decisions,
+        trace.control_side,
+        trace.deadline_hit,
+    )
+
+
+def test_dptrace_incremental_matches_full(mini, analyzer):
+    """Path selection is bit-identical with and without the session."""
+    nets = sorted(mini.datapath.nets)[::3]
+    for site in nets:
+        for act_frame in range(N_FRAMES):
+            for variant in (0, 1):
+                full = DPTrace(
+                    analyzer, {}, variant=variant, incremental=False
+                ).select_paths(site, act_frame)
+                fast = DPTrace(
+                    analyzer, {}, variant=variant, incremental=True
+                ).select_paths(site, act_frame)
+                assert _trace_fields(fast) == _trace_fields(full), (
+                    site, act_frame, variant,
+                )
+
+
+def _generate_all(processor, errors, **knobs):
+    generator = TestGenerator(processor, deadline_seconds=10.0, **knobs)
+    results = []
+    for error in errors:
+        result = generator.generate(error)
+        test = result.test
+        results.append((
+            result.error,
+            result.status,
+            result.backtracks,
+            result.dptrace_backtracks,
+            result.ctrljust_backtracks,
+            result.final_backtracks,
+            result.attempts,
+            result.frames_used,
+            None if test is None else (
+                test.n_frames, test.cpi_frames, test.dpi_frames,
+                test.stimulus_state, test.activation_frame,
+            ),
+        ))
+    return generator, results
+
+
+def test_tg_learning_on_off_identical_mini(mini):
+    """Learning/caching changes wall clock only, never an outcome."""
+    errors = enumerate_bus_ssl(mini.datapath, stages={1, 2})[::8]
+    assert len(errors) >= 10
+    accel, on = _generate_all(
+        mini, errors,
+        use_learned_nogoods=True, use_incremental_dptrace=True,
+    )
+    _, off = _generate_all(
+        mini, errors,
+        use_learned_nogoods=False, use_incremental_dptrace=False,
+    )
+    assert on == off
+    # The accelerators actually engaged (else this test proves nothing).
+    assert accel._sweeps_avoided > 0
+    assert accel.nogoods.justify_misses > 0
+
+
+def test_tg_learning_on_off_identical_dlx_spot():
+    """Two DLX spot checks: one detected, one justification-heavy."""
+    from repro.dlx.machine import build_dlx
+
+    processor = build_dlx()
+    errors = enumerate_bus_ssl(processor.datapath, stages={2})[:2]
+    _, on = _generate_all(
+        processor, errors,
+        use_learned_nogoods=True, use_incremental_dptrace=True,
+    )
+    _, off = _generate_all(
+        processor, errors,
+        use_learned_nogoods=False, use_incremental_dptrace=False,
+    )
+    assert on == off
+
+
+def test_tgresult_exposes_last_attempt_justified(mini):
+    error = enumerate_bus_ssl(mini.datapath, stages={1})[0]
+    generator = TestGenerator(mini, deadline_seconds=10.0)
+    result = generator.generate(error)
+    assert result.status is TGStatus.DETECTED
+    assert result.last_attempt_justified is True
+    # The old mutable-attribute protocol is gone.
+    assert not hasattr(generator, "_had_justification")
+    assert not hasattr(generator, "_last_attempt_justified")
+
+
+def test_deadline_aborts_promptly(mini):
+    """A tiny budget aborts in bounded time even mid-search."""
+    errors = enumerate_bus_ssl(mini.datapath, stages={1, 2})[:6]
+    generator = TestGenerator(mini, deadline_seconds=0.02)
+    start = time.process_time()
+    for error in errors:
+        generator.generate(error)
+    elapsed = time.process_time() - start
+    # 6 errors x 0.02s budget; generous slack for slow CI machines.
+    assert elapsed < 3.0
+
+
+def test_engine_deadline_flags(mini, analyzer):
+    """Both engines surface deadline cuts as tainted FAILUREs."""
+    past = time.process_time() - 1.0
+    site = sorted(mini.datapath.nets)[0]
+    trace = DPTrace(analyzer, {}, deadline=past).select_paths(site, 1)
+    assert trace.status is TraceStatus.FAILURE
+    assert trace.deadline_hit is True
+
+    unrolled = mini.controller.unroll(N_FRAMES)
+    ctrl = mini.controller.ctrl_signals[0]
+    objectives = [(unrolled.instance(1, ctrl), 1)]
+    just = CtrlJust(unrolled, deadline=past).justify(objectives)
+    assert just.status is JustStatus.FAILURE
+    assert just.deadline_hit is True
+
+
+def test_tainted_results_never_cached():
+    store = LearnedNogoods()
+    tainted = JustResult(JustStatus.FAILURE, deadline_hit=True)
+    key = justify_key(4, (((1, "op"), 1),), 0, 100)
+    assert store.cached_justify(key, lambda: tainted) is tainted
+    # The taint passed through uncached: the next call recomputes.
+    clean = JustResult(JustStatus.FAILURE)
+    assert store.cached_justify(key, lambda: clean) is clean
+    assert store.cached_justify(key, lambda: tainted) is clean
+
+    cache = PathCache()
+    trace = TraceResult(TraceStatus.FAILURE, deadline_hit=True)
+    pkey = PathCache.key(4, "net", 1, {}, set(), 0, 100)
+    cache.store(pkey, trace, 0)
+    assert cache.lookup(pkey) is None
+
+
+def test_nogood_records_roundtrip_and_pooling():
+    from repro.campaign.serialize import (
+        nogood_records_from_wire,
+        nogood_records_to_wire,
+    )
+
+    items = (((2, "alu_op"), 1), ((3, "wb_sel"), 0))
+    key = blame_key(6, items, items, {items[0]}, 1, (2000, 500))
+    store = LearnedNogoods()
+    assert store.lookup_blame(key) is None  # miss counted
+    store.record_blame(key, [items[0]], 1234)
+    assert store.lookup_blame(key) == ((items[0],), 1234)
+    assert store.hits == 1 and store.misses == 1
+
+    wire = nogood_records_to_wire(store.export_records())
+    # Exported records drain: nothing left to report.
+    assert store.export_records() == []
+    decoded = nogood_records_from_wire(wire)
+    other = LearnedNogoods()
+    assert other.merge_records(decoded) == 1
+    assert other.lookup_blame(key) == ((items[0],), 1234)
+    # Merged (foreign) records do not re-export.
+    assert other.export_records() == []
+    # Re-merge is idempotent.
+    assert other.merge_records(decoded) == 0
