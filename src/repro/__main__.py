@@ -12,6 +12,9 @@ Commands:
   [--plant SPEC] [--matrix] [--baseline PATH] [--report-dir DIR]``
   — differential fuzzing of the spec-vs-implementation oracle and/or the
   error-model conformance matrix (see ``docs/FUZZING.md``)
+* ``serve [--host H] [--port P] [--state-dir DIR] ...`` — run the
+  persistent campaign service: campaigns/fuzzing over HTTP with warm
+  cross-request caches (see ``docs/SERVICE.md``)
 
 Campaign flags (``table1`` and ``minipipe``):
 
@@ -28,6 +31,13 @@ Campaign flags (``table1`` and ``minipipe``):
   DPRELAX / cosim) as ``error-profile`` events plus one
   ``profile-summary``, visible in the progress feed and the ``--json``
   report
+* ``--remote URL``    submit the campaign to a running ``repro serve``
+  instance instead of executing locally; progress streams back live and
+  ``--json`` receives the server's (identical) run report
+
+Ctrl-C during a local campaign stops it cooperatively: in-flight errors
+finish and are checkpointed, a ``campaign-interrupted`` event is
+emitted, and the command exits 130 (resume with ``--resume``).
 
 Live per-error progress is rendered on stderr; stdout carries the Table-1
 summary.
@@ -51,6 +61,8 @@ def cmd_stats(_args) -> int:
 
 
 def _run_campaign_command(args, target: str, title: str | None) -> int:
+    import signal
+
     from repro.campaign.events import EventLog, EventStream, ProgressRenderer
     from repro.campaign.orchestrator import (
         CampaignOrchestrator,
@@ -58,6 +70,10 @@ def _run_campaign_command(args, target: str, title: str | None) -> int:
         campaign_run_to_dict,
     )
 
+    if args.remote:
+        from repro.service.client import run_remote_campaign
+
+        return run_remote_campaign(args, target, title)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
@@ -87,15 +103,33 @@ def _run_campaign_command(args, target: str, title: str | None) -> int:
     events.subscribe(ProgressRenderer(sys.stderr))
     orchestrator = CampaignOrchestrator(config, events=events)
 
-    errors = orchestrator.default_errors(
-        **({"max_bits_per_net": 4} if target == "dlx" else {})
+    from repro.service.jobs import select_campaign_errors
+
+    errors = select_campaign_errors(
+        orchestrator.campaign, target, {"sample": args.sample}
     )
-    if args.sample > 1:
-        errors = errors[:: args.sample]
     print(f"Running {len(errors)} bus SSL errors "
           f"(deadline {args.deadline:.0f}s/error, {args.jobs} job(s), "
           f"error simulation {'on' if args.dropping else 'off'}) ...")
-    report = orchestrator.run(errors)
+
+    # First Ctrl-C stops cooperatively: in-flight errors finish and are
+    # checkpointed, one campaign-interrupted event is emitted, and the
+    # command exits 130.  A second Ctrl-C falls back to the previous
+    # (default) handler and kills the run the old way.
+    def _on_sigint(signum, frame):
+        orchestrator.interrupt()
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+
+    try:
+        previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+    except ValueError:  # not the main thread (e.g. under a test runner)
+        previous_handler = None
+    try:
+        report = orchestrator.run(errors)
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
     print(report.table1(title) if title else report.table1())
     if args.dropping:
         dropped = sum(1 for o in report.outcomes if o.dropped_by)
@@ -111,6 +145,11 @@ def _run_campaign_command(args, target: str, title: str | None) -> int:
             print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
             return 2
         print(f"wrote JSON run report to {args.json}")
+    if report.interrupted:
+        resumable = (" — resume with --checkpoint/--resume"
+                     if config.checkpoint_path else "")
+        print(f"campaign interrupted{resumable}", file=sys.stderr)
+        return 130
     return 0
 
 
@@ -159,6 +198,12 @@ def cmd_generate(args) -> int:
                  realized.init_regs, realized.init_memory)
     print("ISA-level detection:", "yes" if ok else "NO")
     return 0 if ok else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import serve_main
+
+    return serve_main(args)
 
 
 def _parse_budget(text: str) -> float:
@@ -302,6 +347,10 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="record per-phase TG timings in the event "
                              "stream / --json report")
+    parser.add_argument("--remote", metavar="URL", default=None,
+                        help="submit to a running campaign service "
+                             "(repro serve) instead of running locally; "
+                             "streams the same live progress")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -377,6 +426,15 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("--json", metavar="OUT", default=None,
                         help="also write the structured event log to OUT")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent campaign service (HTTP/JSON; see "
+             "docs/SERVICE.md)",
+    )
+    from repro.service.server import add_serve_arguments
+
+    add_serve_arguments(p_serve)
+
     args = parser.parse_args(argv)
     handler = {
         "stats": cmd_stats,
@@ -384,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "minipipe": cmd_minipipe,
         "fuzz": cmd_fuzz,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -6,6 +6,12 @@ any number of subscribers consume them — a live progress renderer for
 humans, an :class:`EventLog` for the machine-readable ``--json`` report,
 test assertions, or anything else.
 
+Every event serializes with a ``schema_version`` (the wire format of the
+stream, bumped on breaking payload changes) and a ``seq`` number that is
+monotonic per :class:`EventStream` — clients of the campaign service
+resume a live stream from the last ``seq`` they saw.  Readers tolerate
+records written before these fields existed (:func:`event_from_dict`).
+
 Event kinds and their payload fields (all payloads also carry the emission
 wall-clock time):
 
@@ -37,6 +43,12 @@ wall-clock time):
     descriptions removed from the work list), ``seconds``.
 ``checkpoint-written``
     ``path``, ``records`` (total records in the file), ``error``.
+``campaign-interrupted``
+    ``completed`` (errors finished before the stop), ``remaining``
+    (errors never attempted), ``resumable`` (a checkpoint holds every
+    completed error, so ``--resume`` can pick the run back up).  Emitted
+    when a run is stopped cooperatively — SIGINT on the CLI, drain on
+    the campaign service — before ``campaign-finished``.
 ``campaign-finished``
     ``n_errors``, ``n_detected``, ``n_aborted``, ``backtracks``,
     ``wall_seconds``.
@@ -69,8 +81,13 @@ from __future__ import annotations
 
 import sys
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+#: Version of the serialized event wire format.  Bump on breaking payload
+#: changes; additive fields do not require a bump.
+EVENT_SCHEMA_VERSION = 1
 
 EVENT_KINDS = frozenset({
     "campaign-started",
@@ -80,6 +97,7 @@ EVENT_KINDS = frozenset({
     "profile-summary",
     "test-dropped-others",
     "checkpoint-written",
+    "campaign-interrupted",
     "campaign-finished",
     "fuzz-started",
     "fuzz-divergence",
@@ -98,13 +116,36 @@ class CampaignEvent:
     kind: str
     wall_time: float
     data: dict[str, Any] = field(default_factory=dict)
+    #: Monotonic position in the emitting stream (0-based).  Events built
+    #: by hand (or read from pre-versioned logs) default to 0.
+    seq: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
             "wall_time": self.wall_time,
             "data": dict(self.data),
         }
+
+
+def event_from_dict(data: dict[str, Any]) -> CampaignEvent:
+    """Rebuild an event from its serialized form.
+
+    Tolerates records written before ``schema_version``/``seq`` existed
+    (old checkpoints and ``--json`` logs): both default rather than
+    raise.  Unknown *kinds* are preserved verbatim so a newer server can
+    stream event kinds an older client has never heard of.
+    """
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ValueError("not a serialized campaign event")
+    return CampaignEvent(
+        kind=data["kind"],
+        wall_time=data.get("wall_time", 0.0),
+        data=dict(data.get("data", {})),
+        seq=int(data.get("seq", 0)),
+    )
 
 
 class EventStream:
@@ -112,6 +153,7 @@ class EventStream:
 
     def __init__(self) -> None:
         self._subscribers: list[Callable[[CampaignEvent], None]] = []
+        self._next_seq = 0
 
     def subscribe(
         self, subscriber: Callable[[CampaignEvent], None]
@@ -122,26 +164,54 @@ class EventStream:
     def emit(self, kind: str, **data: Any) -> CampaignEvent:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
-        event = CampaignEvent(kind=kind, wall_time=time.time(), data=data)
+        event = CampaignEvent(
+            kind=kind, wall_time=time.time(), data=data, seq=self._next_seq
+        )
+        self._next_seq += 1
         for subscriber in self._subscribers:
             subscriber(event)
         return event
 
 
 class EventLog:
-    """Subscriber that records every event (for the ``--json`` report)."""
+    """Subscriber that records events (for the ``--json`` report).
 
-    def __init__(self) -> None:
-        self.events: list[CampaignEvent] = []
+    ``max_events`` bounds the buffer: a long-lived consumer (the campaign
+    service holds one log per job) keeps only the most recent N events, so
+    server memory does not grow with campaign length.  The default
+    (``None``) records everything — the CLI behaviour.  ``dropped``
+    counts evicted events; each event's ``seq`` survives eviction, so
+    readers can detect the gap.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 (or None)")
+        self.max_events = max_events
+        self._events: deque[CampaignEvent] = deque(maxlen=max_events)
+        self.seen = 0
+
+    @property
+    def events(self) -> list[CampaignEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self.seen - len(self._events)
 
     def __call__(self, event: CampaignEvent) -> None:
-        self.events.append(event)
+        self._events.append(event)
+        self.seen += 1
 
     def to_dicts(self) -> list[dict[str, Any]]:
-        return [event.to_dict() for event in self.events]
+        return [event.to_dict() for event in self._events]
 
     def of_kind(self, kind: str) -> list[CampaignEvent]:
-        return [event for event in self.events if event.kind == kind]
+        return [event for event in self._events if event.kind == kind]
+
+    def since(self, seq: int) -> list[CampaignEvent]:
+        """Buffered events with ``seq`` strictly greater than ``seq``."""
+        return [event for event in self._events if event.seq > seq]
 
 
 class ProgressRenderer:
@@ -200,6 +270,12 @@ class ProgressRenderer:
                     f"{data['path_cache_hits']} path-cache hit(s), "
                     f"{data['dptrace_sweeps_avoided']} co-state "
                     f"sweep(s) avoided")
+        elif event.kind == "campaign-interrupted":
+            resume = (" (resumable via --resume)"
+                      if data.get("resumable") else "")
+            self._line(f"campaign INTERRUPTED: {data['completed']} "
+                       f"completed, {data['remaining']} never "
+                       f"attempted{resume}")
         elif event.kind == "campaign-finished":
             self._line(f"campaign finished: {data['n_detected']} detected, "
                        f"{data['n_aborted']} aborted "

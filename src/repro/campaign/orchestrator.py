@@ -19,6 +19,7 @@ orchestration is byte-identical to the classic driver.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -157,9 +158,25 @@ class CampaignOrchestrator:
         self.campaign = campaign or build_campaign(
             config.target, config.deadline_seconds
         )
+        self._stop = threading.Event()
 
     def default_errors(self, **kwargs) -> list[DesignError]:
         return self.campaign.default_errors(**kwargs)
+
+    def interrupt(self) -> None:
+        """Request a cooperative stop (thread- and signal-safe).
+
+        The run finishes the error(s) currently in flight, checkpoints
+        them as usual, emits one ``campaign-interrupted`` event, and
+        returns a report with ``interrupted=True`` covering the completed
+        prefix — nothing the workers finished is lost, and a checkpointed
+        run resumes with ``--resume``.
+        """
+        self._stop.set()
+
+    @property
+    def interrupt_requested(self) -> bool:
+        return self._stop.is_set()
 
     # ------------------------------------------------------------------
     # Run
@@ -185,16 +202,27 @@ class CampaignOrchestrator:
         checkpoint = None
         if config.checkpoint_path:
             checkpoint = CampaignCheckpoint(config.checkpoint_path)
+        unattempted = 0
         try:
             if pending:
                 if config.jobs == 1:
-                    self._run_serial(pending, report, checkpoint)
+                    unattempted = self._run_serial(
+                        pending, report, checkpoint
+                    )
                 else:
-                    self._run_pool(pending, report, checkpoint)
+                    unattempted = self._run_pool(pending, report, checkpoint)
         finally:
             if checkpoint is not None:
                 checkpoint.close()
         report.total_seconds = time.monotonic() - start
+        if self._stop.is_set():
+            report.interrupted = True
+            self.events.emit(
+                "campaign-interrupted",
+                completed=len(report.outcomes),
+                remaining=unattempted,
+                resumable=checkpoint is not None,
+            )
         if config.profile:
             self._emit_profile_summary(report)
         self.events.emit(
@@ -230,7 +258,7 @@ class CampaignOrchestrator:
         pending: list[tuple[int, DesignError]],
         report: CampaignReport,
         checkpoint: CampaignCheckpoint | None,
-    ) -> None:
+    ) -> int:
         index_of = {error.describe(): index for index, error in pending}
 
         def on_started(error: DesignError) -> None:
@@ -257,15 +285,18 @@ class CampaignOrchestrator:
             for record in dropped:
                 self._write_checkpoint(checkpoint, record, None)
 
+        remaining = [error for _, error in pending]
         run_serial_campaign(
             self.campaign,
-            [error for _, error in pending],
+            remaining,
             report,
             error_simulation=self.config.error_simulation,
             on_started=on_started,
             on_finished=on_finished,
             on_dropped=on_dropped,
+            should_stop=self._stop.is_set,
         )
+        return len(remaining)
 
     # ------------------------------------------------------------------
     # Parallel path (jobs>1): sharded pool with coordinator-side dropping
@@ -275,7 +306,7 @@ class CampaignOrchestrator:
         pending: list[tuple[int, DesignError]],
         report: CampaignReport,
         checkpoint: CampaignCheckpoint | None,
-    ) -> None:
+    ) -> int:
         from repro.campaign.serialize import (
             nogood_records_from_wire,
             nogood_records_to_wire,
@@ -296,6 +327,8 @@ class CampaignOrchestrator:
             in_flight: dict = {}
 
             def dispatch() -> None:
+                if self._stop.is_set():
+                    return
                 while queue and len(in_flight) < config.jobs:
                     index, error = queue.popleft()
                     self.events.emit(
@@ -341,6 +374,10 @@ class CampaignOrchestrator:
                             outcome, test, queue, report, checkpoint
                         )
                 dispatch()
+            # An interrupt stops dispatching; in-flight errors above ran
+            # to completion and were checkpointed, the queued tail is
+            # reported as never attempted.
+            return len(queue)
 
     def _drop_from_queue(
         self,

@@ -65,6 +65,10 @@ class CampaignReport:
 
     outcomes: list[ErrorOutcome] = field(default_factory=list)
     total_seconds: float = 0.0
+    #: Set when the run was stopped cooperatively (SIGINT, service drain)
+    #: before the error list was exhausted; the outcomes cover only the
+    #: completed prefix.
+    interrupted: bool = False
 
     @property
     def n_errors(self) -> int:
@@ -235,6 +239,7 @@ def run_serial_campaign(
     on_finished: Callable[[ErrorOutcome, Any], None] | None = None,
     on_dropped: Callable[[ErrorOutcome, list[ErrorOutcome], float], None]
     | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> None:
     """The serial campaign loop, appending outcomes to ``report``.
 
@@ -244,8 +249,14 @@ def run_serial_campaign(
     the control flow: ``on_finished(outcome, realized)`` fires once the
     outcome is final (dropping time folded in), ``on_dropped(outcome,
     dropped, seconds)`` after a test removed errors from the work list.
+    ``should_stop`` is polled between errors: when it returns True the
+    loop returns early, leaving the unattempted tail in ``remaining`` —
+    the cooperative-interrupt hook (the in-flight error always finishes,
+    so every appended outcome is complete and checkpointable).
     """
     while remaining:
+        if should_stop is not None and should_stop():
+            return
         error = remaining.pop(0)
         if on_started is not None:
             on_started(error)

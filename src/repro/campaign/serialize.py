@@ -152,6 +152,7 @@ def report_to_dict(report: CampaignReport) -> dict[str, Any]:
     return {
         "kind": "campaign-report",
         "total_seconds": report.total_seconds,
+        "interrupted": report.interrupted,
         "outcomes": [vars(o).copy() for o in report.outcomes],
     }
 
@@ -162,7 +163,60 @@ def report_from_dict(data: dict[str, Any]) -> CampaignReport:
     return CampaignReport(
         outcomes=[ErrorOutcome(**o) for o in data["outcomes"]],
         total_seconds=data["total_seconds"],
+        # Absent in reports written before interruption existed.
+        interrupted=data.get("interrupted", False),
     )
+
+
+#: Wall-clock / CPU-time fields of a campaign-run dict.  They vary run to
+#: run even when the runs are semantically identical, so the canonical
+#: form drops them wherever they appear in the tree.
+TIMING_KEYS = frozenset({
+    "wall_time", "seconds", "total_seconds", "wall_seconds",
+    "phase_seconds", "phase_cpu_seconds",
+})
+
+#: Cache-traffic counters.  Outcomes are cache-transparent (hits replay
+#: recorded effort), but the hit/miss split itself depends on what was
+#: already warm — a second request against a warm campaign service turns
+#: first-touch misses into hits.  ``canonical_campaign_run(...,
+#: include_cache_traffic=False)`` drops these too, leaving exactly the
+#: fields that warm caches must never change.
+CACHE_TRAFFIC_KEYS = frozenset({
+    "golden_hits", "golden_misses",
+    "nogood_hits", "nogood_misses", "justify_cache_hits",
+    "path_cache_hits", "path_cache_misses", "dptrace_sweeps_avoided",
+})
+
+
+def _strip_keys(value, keys: frozenset):
+    if isinstance(value, dict):
+        return {
+            k: _strip_keys(v, keys)
+            for k, v in value.items()
+            if k not in keys
+        }
+    if isinstance(value, list):
+        return [_strip_keys(v, keys) for v in value]
+    return value
+
+
+def canonical_campaign_run(
+    run: dict[str, Any], include_cache_traffic: bool = True
+) -> dict[str, Any]:
+    """The run-to-run-stable form of a ``campaign-run`` dict.
+
+    Strips timing everywhere (and, when ``include_cache_traffic`` is
+    False, the cache hit/miss counters as well); everything left —
+    config, outcomes, serialized tests, the event sequence — must be
+    byte-identical between a campaign run via the CLI and the same
+    campaign run through the service, warm or cold
+    (``json.dumps(..., sort_keys=True)`` the result to compare bytes).
+    """
+    keys = TIMING_KEYS
+    if not include_cache_traffic:
+        keys = keys | CACHE_TRAFFIC_KEYS
+    return _strip_keys(run, keys)
 
 
 def save_json(obj: dict[str, Any], path: str) -> None:

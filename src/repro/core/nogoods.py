@@ -134,6 +134,18 @@ class LearnedNogoods:
     def __len__(self) -> int:
         return len(self._blames)
 
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/occupancy counters for the two memo layers (the
+        campaign service's ``/metrics`` reads these)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "records": len(self._blames),
+            "justify_hits": self.justify_hits,
+            "justify_misses": self.justify_misses,
+            "justify_entries": len(self._results),
+        }
+
     # ------------------------------------------------------------------
     # Justification result memo
     # ------------------------------------------------------------------
@@ -186,6 +198,17 @@ class PathCache:
     _entries: OrderedDict = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/occupancy counters (read by the campaign service)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
 
     @staticmethod
     def key(

@@ -1,0 +1,35 @@
+"""TG-as-a-service: a persistent asyncio campaign server with warm caches.
+
+The batch CLI rebuilds every accelerator per process; the service keeps
+them hot across requests instead (see ``docs/SERVICE.md``):
+
+* :class:`~repro.service.server.CampaignServer` — asyncio HTTP/1.1 JSON
+  endpoints (``/v1/campaigns``, ``/v1/fuzz``, live event streams,
+  ``/healthz``, ``/metrics``), multi-tenant queueing, graceful drain.
+* :class:`~repro.service.cache.WarmCacheRegistry` — one long-lived
+  campaign per machine identity, so learned no-goods, golden traces,
+  path-set entries and compiled kernels survive across requests.
+* :class:`~repro.service.client.ServiceClient` — stdlib client used by
+  tests, CI and the CLI's ``--remote URL`` passthrough.
+"""
+
+from repro.service.cache import WarmCacheRegistry, WarmLease
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http11 import HttpError
+from repro.service.jobs import Job
+from repro.service.queueing import RateLimited, TenantGovernor, TokenBucket
+from repro.service.server import CampaignServer, ServiceConfig
+
+__all__ = [
+    "CampaignServer",
+    "HttpError",
+    "Job",
+    "RateLimited",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "TenantGovernor",
+    "TokenBucket",
+    "WarmCacheRegistry",
+    "WarmLease",
+]

@@ -1,0 +1,106 @@
+"""Multi-tenant admission control: token-bucket rates + concurrency caps.
+
+Two independent gates protect a shared campaign server:
+
+* **Rate** — each tenant owns a token bucket (``burst`` capacity,
+  ``rate_per_second`` refill).  A submission with no token available is
+  rejected immediately with :class:`RateLimited` (HTTP 429 + a
+  ``Retry-After`` hint); nothing queues, so a misbehaving tenant cannot
+  grow the queue without bound.
+* **Concurrency** — admitted jobs queue FIFO, but a job only *starts*
+  while its tenant is under ``per_tenant_concurrency`` and the server is
+  under its global worker capacity.  The scheduler skips over capped
+  tenants, so one tenant's backlog never blocks another tenant's jobs
+  (no head-of-line blocking across tenants).
+
+The governor is synchronous and clock-injectable — the asyncio server
+calls it from the event loop thread only, and tests drive it with a fake
+clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class RateLimited(Exception):
+    """Submission rejected by the tenant's token bucket."""
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is over its request rate "
+            f"(retry in {retry_after:.1f}s)"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``rate`` tokens/second."""
+
+    capacity: float
+    rate: float
+    tokens: float
+    updated: float
+
+    def try_take(self, now: float) -> bool:
+        self.tokens = min(
+            self.capacity, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self) -> float:
+        if self.tokens >= 1.0 or self.rate <= 0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class TenantGovernor:
+    """Per-tenant admission state shared by the whole server."""
+
+    per_tenant_concurrency: int = 2
+    rate_per_second: float = 5.0
+    burst: float = 20.0
+    clock: Callable[[], float] = time.monotonic
+
+    _running: dict[str, int] = field(default_factory=dict)
+    _buckets: dict[str, TokenBucket] = field(default_factory=dict)
+    rejected: int = 0
+
+    def admit(self, tenant: str) -> None:
+        """Charge one token; raise :class:`RateLimited` when empty."""
+        now = self.clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                capacity=self.burst, rate=self.rate_per_second,
+                tokens=self.burst, updated=now,
+            )
+            self._buckets[tenant] = bucket
+        if not bucket.try_take(now):
+            self.rejected += 1
+            raise RateLimited(tenant, bucket.seconds_until_token())
+
+    def can_start(self, tenant: str) -> bool:
+        return self._running.get(tenant, 0) < self.per_tenant_concurrency
+
+    def started(self, tenant: str) -> None:
+        self._running[tenant] = self._running.get(tenant, 0) + 1
+
+    def finished(self, tenant: str) -> None:
+        remaining = self._running.get(tenant, 0) - 1
+        if remaining > 0:
+            self._running[tenant] = remaining
+        else:
+            self._running.pop(tenant, None)
+
+    def running_by_tenant(self) -> dict[str, int]:
+        return dict(self._running)

@@ -252,6 +252,18 @@ class GoldenTraceCache:
         self._traces: dict[tuple, Trace] = {}
         self._pinned: dict[int, Processor] = {}
 
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/occupancy counters (the campaign service's
+        ``/metrics`` reads these; see ``repro.service.cache``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._traces),
+        }
+
     def trace(
         self,
         processor: Processor,

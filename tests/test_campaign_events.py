@@ -10,6 +10,7 @@ from repro.campaign.events import (
     EventLog,
     EventStream,
     ProgressRenderer,
+    event_from_dict,
 )
 
 
@@ -32,13 +33,55 @@ def test_unknown_kind_rejected():
 
 
 def test_event_to_dict_roundtrip_shape():
-    event = CampaignEvent("checkpoint-written", 12.5, {"path": "x"})
+    event = CampaignEvent("checkpoint-written", 12.5, {"path": "x"}, seq=7)
     data = event.to_dict()
     assert data == {
         "kind": "checkpoint-written",
+        "schema_version": 1,
+        "seq": 7,
         "wall_time": 12.5,
         "data": {"path": "x"},
     }
+    rebuilt = event_from_dict(data)
+    assert rebuilt == event
+
+
+def test_event_from_dict_tolerates_preversion_records():
+    """Logs written before schema_version/seq existed still load."""
+    old = {"kind": "error-started", "wall_time": 1.0,
+           "data": {"error": "e", "index": 0}}
+    event = event_from_dict(old)
+    assert event.seq == 0
+    assert event.kind == "error-started"
+    # Unknown kinds stream through unchanged (newer server, older client).
+    assert event_from_dict({"kind": "from-the-future"}).kind == \
+        "from-the-future"
+    with pytest.raises(ValueError):
+        event_from_dict({"wall_time": 1.0})
+
+
+def test_event_stream_seq_is_monotonic_per_stream():
+    stream = EventStream()
+    events = [stream.emit("error-started", error="e", index=i)
+              for i in range(3)]
+    assert [e.seq for e in events] == [0, 1, 2]
+    assert EventStream().emit("error-started", error="x", index=0).seq == 0
+
+
+def test_event_log_ring_buffer_bounds_memory():
+    stream = EventStream()
+    log = EventLog(max_events=3)
+    stream.subscribe(log)
+    for i in range(10):
+        stream.emit("error-started", error=f"e{i}", index=i)
+    assert len(log.events) == 3
+    assert log.seen == 10
+    assert log.dropped == 7
+    # seq survives eviction, so readers can detect the gap and resume.
+    assert [e.seq for e in log.events] == [7, 8, 9]
+    assert [e.seq for e in log.since(8)] == [9]
+    with pytest.raises(ValueError):
+        EventLog(max_events=0)
 
 
 def test_event_log_collects_and_filters():

@@ -185,6 +185,72 @@ def test_resume_with_complete_checkpoint_does_no_work(tmp_path):
     assert _signature(again) == _signature(first)
 
 
+def test_interrupt_mid_campaign_checkpoints_and_resumes(tmp_path):
+    """Cooperative interruption (SIGINT / service drain): in-flight work
+    finishes and checkpoints, the tail is left resumable, and the event
+    stream says so."""
+    path = str(tmp_path / "cp.jsonl")
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    orchestrator = CampaignOrchestrator(
+        _mini_config(jobs=1, checkpoint_path=path), events=events
+    )
+    events.subscribe(
+        lambda e: orchestrator.interrupt()
+        if e.kind == "error-finished" else None
+    )
+    report = orchestrator.run(ERRORS)
+    assert report.interrupted
+    # The stop flag is polled between errors: exactly one completed.
+    assert len(report.outcomes) == 1
+    event = log.of_kind("campaign-interrupted")[0]
+    assert event.data == {
+        "completed": 1, "remaining": len(ERRORS) - 1, "resumable": True,
+    }
+    assert len(CampaignCheckpoint.load(path)) == 1
+
+    # Resume finishes the tail and reproduces the uninterrupted report.
+    resumed = CampaignOrchestrator(
+        _mini_config(jobs=1, checkpoint_path=path, resume=True)
+    ).run(ERRORS)
+    assert not resumed.interrupted
+    full = CampaignOrchestrator(_mini_config(jobs=1)).run(ERRORS)
+    assert _signature(resumed) == _signature(full)
+
+
+def test_interrupt_before_run_attempts_nothing():
+    orchestrator = CampaignOrchestrator(_mini_config(jobs=1))
+    assert not orchestrator.interrupt_requested
+    orchestrator.interrupt()
+    assert orchestrator.interrupt_requested
+    report = orchestrator.run(ERRORS)
+    assert report.interrupted
+    assert report.outcomes == []
+
+
+def test_interrupt_parallel_run_leaves_tail_unattempted(tmp_path):
+    path = str(tmp_path / "cp.jsonl")
+    events = EventStream()
+    log = EventLog()
+    events.subscribe(log)
+    orchestrator = CampaignOrchestrator(
+        _mini_config(jobs=2, checkpoint_path=path), events=events
+    )
+    events.subscribe(
+        lambda e: orchestrator.interrupt()
+        if e.kind == "error-finished" else None
+    )
+    report = orchestrator.run(ERRORS)
+    assert report.interrupted
+    # In-flight shards finish; nothing new is dispatched after the stop.
+    assert 1 <= len(report.outcomes) <= len(ERRORS)
+    event = log.of_kind("campaign-interrupted")[0]
+    assert event.data["completed"] == len(report.outcomes)
+    assert event.data["completed"] + event.data["remaining"] <= len(ERRORS)
+    assert len(CampaignCheckpoint.load(path)) == len(report.outcomes)
+
+
 def test_worker_entry_points_in_process():
     """The pool worker functions themselves, run in-process."""
     _worker_init("mini", 10.0)

@@ -125,3 +125,47 @@ def test_unknown_command_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_sigint_interrupts_campaign_exit_130(tmp_path):
+    """A real SIGINT against the real CLI: the in-flight error finishes
+    and checkpoints, stderr explains, and the exit code is 130."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    checkpoint = tmp_path / "cp.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "minipipe", "--sample", "2",
+         "--deadline", "10", "--checkpoint", str(checkpoint)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        # Wait until at least one outcome has been checkpointed, so the
+        # interrupt lands mid-campaign.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if checkpoint.exists() and checkpoint.stat().st_size > 0:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.1)
+        assert proc.poll() is None, proc.communicate()[1]
+        proc.send_signal(signal.SIGINT)
+        _, err = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 130, err
+    assert "campaign interrupted" in err
+    assert "campaign INTERRUPTED" in err  # the renderer's progress line
+    from repro.campaign.checkpoint import CampaignCheckpoint
+
+    records = CampaignCheckpoint.load(str(checkpoint))
+    assert len(records) >= 1  # resumable from what completed
