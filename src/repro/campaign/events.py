@@ -80,6 +80,7 @@ emit their own kinds into the same stream:
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -182,6 +183,11 @@ class EventLog:
     (``None``) records everything — the CLI behaviour.  ``dropped``
     counts evicted events; each event's ``seq`` survives eviction, so
     readers can detect the gap.
+
+    Thread-safe: the campaign service appends from its worker thread
+    while ``/events`` streamers read from the asyncio thread, so every
+    buffer access snapshots under a lock (a bare deque raises
+    ``deque mutated during iteration`` under that interleaving).
     """
 
     def __init__(self, max_events: int | None = None) -> None:
@@ -189,29 +195,38 @@ class EventLog:
             raise ValueError("max_events must be >= 1 (or None)")
         self.max_events = max_events
         self._events: deque[CampaignEvent] = deque(maxlen=max_events)
+        self._lock = threading.Lock()
         self.seen = 0
 
     @property
     def events(self) -> list[CampaignEvent]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     @property
     def dropped(self) -> int:
-        return self.seen - len(self._events)
+        with self._lock:
+            return self.seen - len(self._events)
 
     def __call__(self, event: CampaignEvent) -> None:
-        self._events.append(event)
-        self.seen += 1
+        with self._lock:
+            self._events.append(event)
+            self.seen += 1
+
+    def clear(self) -> None:
+        """Release the buffer; ``seen`` (and so ``dropped``) survive."""
+        with self._lock:
+            self._events.clear()
 
     def to_dicts(self) -> list[dict[str, Any]]:
-        return [event.to_dict() for event in self._events]
+        return [event.to_dict() for event in self.events]
 
     def of_kind(self, kind: str) -> list[CampaignEvent]:
-        return [event for event in self._events if event.kind == kind]
+        return [event for event in self.events if event.kind == kind]
 
     def since(self, seq: int) -> list[CampaignEvent]:
         """Buffered events with ``seq`` strictly greater than ``seq``."""
-        return [event for event in self._events if event.seq > seq]
+        return [event for event in self.events if event.seq > seq]
 
 
 class ProgressRenderer:

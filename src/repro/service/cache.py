@@ -125,19 +125,36 @@ class WarmCacheRegistry:
 
     def __init__(self) -> None:
         self._entries: dict[str, _WarmEntry] = {}
+        self._build_lock = asyncio.Lock()
         self.cold_builds = 0
+
+    async def _entry(self, target: str, deadline_seconds: float) -> _WarmEntry:
+        """Get-or-build, with the cold build off the event loop.
+
+        ``build_campaign`` compiles kernels and networks for seconds —
+        run it in the default executor so /healthz, submissions and live
+        streams stay responsive, with a lock (double-checked) so two
+        concurrent first requests build once.
+        """
+        entry = self._entries.get(target)
+        if entry is not None:
+            return entry
+        async with self._build_lock:
+            entry = self._entries.get(target)
+            if entry is None:
+                campaign = await asyncio.get_running_loop().run_in_executor(
+                    None, build_campaign, target, deadline_seconds
+                )
+                entry = _WarmEntry(campaign=campaign)
+                self._entries[target] = entry
+                self.cold_builds += 1
+            return entry
 
     @contextlib.asynccontextmanager
     async def lease(
         self, target: str, deadline_seconds: float
     ) -> AsyncIterator[WarmLease]:
-        entry = self._entries.get(target)
-        if entry is None:
-            entry = _WarmEntry(
-                campaign=build_campaign(target, deadline_seconds)
-            )
-            self._entries[target] = entry
-            self.cold_builds += 1
+        entry = await self._entry(target, deadline_seconds)
         async with entry.lock:
             # The deadline is a per-request knob on the long-lived
             # generator; TG reads it at generate() time.

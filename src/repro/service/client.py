@@ -169,6 +169,14 @@ def run_remote_campaign(args, target: str, title: str | None) -> int:
     from repro.campaign.events import ProgressRenderer, event_from_dict
     from repro.campaign.serialize import report_from_dict, save_json
 
+    if args.checkpoint or args.resume:
+        # Service checkpoints are server-side, keyed by job id — a local
+        # --checkpoint path / --resume flag cannot be honoured remotely.
+        print("error: --checkpoint/--resume do not combine with --remote "
+              "(the service checkpoints server-side: submit with "
+              '{"checkpoint": true}, resume with {"resume": "<job id>"} '
+              "via the API)", file=sys.stderr)
+        return 2
     client = ServiceClient(args.remote)
     request: dict[str, Any] = {
         "target": target,

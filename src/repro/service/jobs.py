@@ -68,6 +68,10 @@ class Job:
     cache: dict[str, Any] | None = None
     checkpoint_path: str | None = None
     resumable: bool = False
+    #: True once the server compacted this terminal job: the full result
+    #: and event buffer are gone, status metadata remains queryable.
+    evicted: bool = False
+    _dropped_at_compaction: int = 0
 
     log: EventLog = field(init=False)
     stream: EventStream = field(init=False)
@@ -106,9 +110,29 @@ class Job:
     def finished(self) -> bool:
         return self.status in TERMINAL_STATUSES
 
+    @property
+    def events_dropped(self) -> int:
+        """Ring-buffer evictions (compaction clears are not drops)."""
+        return (self._dropped_at_compaction if self.evicted
+                else self.log.dropped)
+
     def interrupt(self) -> None:
         if self.orchestrator is not None:
             self.orchestrator.interrupt()
+
+    def compact(self) -> None:
+        """Release the result dict and event buffer of a terminal job.
+
+        Status metadata (including ``events_seen``/``events_dropped``
+        and the warm-cache report) stays; ``GET`` keeps answering with
+        ``evicted: true`` and ``result: null``.
+        """
+        if self.evicted:
+            return
+        self._dropped_at_compaction = self.log.dropped
+        self.evicted = True
+        self.result = None
+        self.log.clear()
 
     # ------------------------------------------------------------------
     # Wire form
@@ -125,7 +149,8 @@ class Job:
             "finished_wall": self.finished_wall,
             "request": dict(self.request),
             "events_seen": self.log.seen,
-            "events_dropped": self.log.dropped,
+            "events_dropped": self.events_dropped,
+            "evicted": self.evicted,
             "resumable": self.resumable,
             "checkpoint_path": self.checkpoint_path,
             "cache": self.cache,

@@ -78,6 +78,10 @@ class ServiceConfig:
     burst: float = 20.0
     #: Ring-buffer bound per job's event log (None = unbounded).
     max_events_per_job: int | None = 20000
+    #: Finished jobs that keep their full result + event buffer.  Older
+    #: terminal jobs are compacted to status metadata; metadata older
+    #: than 4x this cap is forgotten entirely (GET returns 404).
+    max_finished_jobs: int = 64
     drain_grace_seconds: float = 30.0
 
     def __post_init__(self) -> None:
@@ -85,6 +89,8 @@ class ServiceConfig:
             raise ValueError("max_workers must be >= 1")
         if self.per_tenant_concurrency < 1:
             raise ValueError("per_tenant_concurrency must be >= 1")
+        if self.max_finished_jobs < 1:
+            raise ValueError("max_finished_jobs must be >= 1")
 
 
 class CampaignServer:
@@ -99,6 +105,13 @@ class CampaignServer:
             burst=self.config.burst,
         )
         self.jobs: dict[str, Job] = {}
+        #: Terminal jobs, oldest first — the retention window (_retire).
+        self._finished_order: deque[str] = deque()
+        self.jobs_compacted = 0
+        self.jobs_forgotten = 0
+        #: [seen, dropped] totals of forgotten jobs, so the /metrics
+        #: event counters stay monotonic across forgetting.
+        self._events_forgotten = [0, 0]
         self._queue: deque[Job] = deque()
         self._running: set[str] = set()
         self._tasks: dict[str, asyncio.Task] = {}
@@ -142,6 +155,7 @@ class CampaignServer:
             job.status = "cancelled"
             job.finished_wall = time.time()
             job.bump()
+            self._retire(job)
             cancelled.append(job.id)
         for job_id in list(self._running):
             self.jobs[job_id].interrupt()
@@ -179,6 +193,9 @@ class CampaignServer:
             try:
                 request = await read_request(reader)
             except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except HttpError as exc:  # malformed request: answer, close
+                await send_json(writer, exc.status, exc.body())
                 return
             if request is None:
                 return
@@ -353,7 +370,31 @@ class CampaignServer:
             self._tasks.pop(job.id, None)
             self.governor.finished(job.tenant)
             job.bump()
+            self._retire(job)
             self._maybe_start()
+
+    def _retire(self, job: Job) -> None:
+        """Bound the memory terminal jobs hold on a long-lived server.
+
+        The newest ``max_finished_jobs`` terminal jobs keep their full
+        result dict and event buffer; jobs pushed past that window are
+        compacted to status metadata (result and events released,
+        ``evicted`` flagged); metadata pushed past 4x the window is
+        dropped from ``jobs`` entirely.
+        """
+        self._finished_order.append(job.id)
+        full_cap = self.config.max_finished_jobs
+        while len(self._finished_order) > 4 * full_cap:
+            old = self.jobs.pop(self._finished_order.popleft(), None)
+            if old is not None:
+                self.jobs_forgotten += 1
+                self._events_forgotten[0] += old.log.seen
+                self._events_forgotten[1] += old.events_dropped
+        for job_id in list(self._finished_order)[:-full_cap]:
+            old = self.jobs.get(job_id)
+            if old is not None and not old.evicted:
+                old.compact()
+                self.jobs_compacted += 1
 
     async def _run_campaign(self, job: Job) -> None:
         body = job.request
@@ -371,8 +412,14 @@ class CampaignServer:
             job.orchestrator = orchestrator
             if self.draining:  # drained between admit and start
                 orchestrator.interrupt()
-            errors = select_campaign_errors(
-                lease.campaign, config.target, body
+            # Error enumeration walks the whole netlist — off the loop,
+            # so /healthz and streams stay responsive while it runs.
+            errors = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    select_campaign_errors, lease.campaign, config.target,
+                    body,
+                ),
             )
             job.status = "running"
             job.bump()
@@ -451,7 +498,13 @@ class CampaignServer:
                 "rate_limited": self.governor.rejected,
                 "rejected_draining": self.rejected_draining,
             },
-            "jobs": {"total": len(self.jobs), "by_status": jobs_by_status},
+            "jobs": {
+                "total": len(self.jobs) + self.jobs_forgotten,
+                "retained": len(self.jobs),
+                "compacted": self.jobs_compacted,
+                "forgotten": self.jobs_forgotten,
+                "by_status": jobs_by_status,
+            },
             "queue": {
                 "depth": len(self._queue),
                 "by_tenant": queue_by_tenant,
@@ -465,8 +518,10 @@ class CampaignServer:
             "phase_cpu_seconds": dict(sorted(self._phase_cpu.items())),
             "caches": self.registry.stats(),
             "events": {
-                "emitted": sum(j.log.seen for j in self.jobs.values()),
-                "dropped": sum(j.log.dropped for j in self.jobs.values()),
+                "emitted": self._events_forgotten[0]
+                + sum(j.log.seen for j in self.jobs.values()),
+                "dropped": self._events_forgotten[1]
+                + sum(j.events_dropped for j in self.jobs.values()),
             },
         }
 
@@ -491,6 +546,10 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-events", type=int, default=20000,
                         help="event ring-buffer size per job (default "
                              "20000; 0 = unbounded)")
+    parser.add_argument("--max-finished-jobs", type=int, default=64,
+                        help="finished jobs kept with full results "
+                             "(default 64); older ones shrink to status "
+                             "metadata, then age out")
     parser.add_argument("--drain-grace", type=float, default=30.0,
                         help="seconds to wait for interrupted jobs on "
                              "drain (default 30)")
@@ -506,6 +565,7 @@ def config_from_args(args) -> ServiceConfig:
         rate_per_second=args.rate,
         burst=args.burst,
         max_events_per_job=args.max_events or None,
+        max_finished_jobs=args.max_finished_jobs,
         drain_grace_seconds=args.drain_grace,
     )
 

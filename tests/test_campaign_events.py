@@ -1,6 +1,7 @@
 """Tests for the structured campaign event stream."""
 
 import io
+import time
 
 import pytest
 
@@ -82,6 +83,57 @@ def test_event_log_ring_buffer_bounds_memory():
     assert [e.seq for e in log.since(8)] == [9]
     with pytest.raises(ValueError):
         EventLog(max_events=0)
+
+
+def test_event_log_is_thread_safe_under_concurrent_append_and_read():
+    """The service appends from a worker thread while /events streamers
+    iterate from the asyncio thread: an unguarded deque raises
+    ``deque mutated during iteration`` under that interleaving."""
+    import threading
+
+    stream = EventStream()
+    log = EventLog(max_events=64)
+    stream.subscribe(log)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer() -> None:
+        i = 0
+        while not stop.is_set():
+            stream.emit("error-started", error=f"e{i}", index=i)
+            i += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        deadline = time.time() + 1.0
+        while time.time() < deadline:
+            try:
+                log.since(-1)
+                log.to_dicts()
+                log.of_kind("error-started")
+                _ = log.dropped
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+                break
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+    assert not errors
+    assert log.seen > 0
+
+
+def test_event_log_clear_keeps_seen():
+    stream = EventStream()
+    log = EventLog()
+    stream.subscribe(log)
+    for i in range(4):
+        stream.emit("error-started", error=f"e{i}", index=i)
+    log.clear()
+    assert log.events == []
+    assert log.seen == 4
+    stream.emit("error-started", error="e4", index=4)
+    assert [e.seq for e in log.events] == [4]
 
 
 def test_event_log_collects_and_filters():

@@ -170,6 +170,88 @@ def test_healthz_metrics_and_errors(tmp_path):
         assert excinfo.value.status == 404
 
 
+def test_malformed_requests_get_clean_error_responses(tmp_path):
+    """Garbage on the wire answers 400/413, not a dropped connection."""
+    import socket
+
+    def raw_exchange(server, payload: bytes) -> str:
+        with socket.create_connection(
+            (server.config.host, server.port), timeout=10
+        ) as sock:
+            sock.sendall(payload)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks).decode("latin-1")
+
+    with running_server(tmp_path / "state") as server:
+        assert "400 Bad Request" in raw_exchange(server, b"GARBAGE\r\n\r\n")
+        assert "400 Bad Request" in raw_exchange(
+            server, b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n"
+        )
+        assert "413 Payload Too Large" in raw_exchange(
+            server,
+            b"POST /v1/campaigns HTTP/1.1\r\n"
+            b"Content-Length: 999999999999\r\n\r\n",
+        )
+        # The server survives all of the above.
+        assert ServiceClient(server.url).healthz()["status"] == "ok"
+
+
+def test_finished_jobs_are_compacted_then_forgotten(tmp_path):
+    """A long-lived server bounds the memory terminal jobs hold: beyond
+    max_finished_jobs full results are released (status metadata stays),
+    beyond 4x the cap the job is forgotten entirely."""
+    with running_server(tmp_path / "state", max_finished_jobs=1,
+                        burst=50.0) as server:
+        client = ServiceClient(server.url)
+        job_ids = []
+        for seed in range(6):
+            job_id = client.submit_fuzz(machine="mini", iters=2,
+                                        seed=seed + 1)["id"]
+            status = client.wait(job_id)
+            assert status["status"] == "done"
+            job_ids.append(job_id)
+
+        # 6 terminal jobs, cap 1, metadata cap 4: the 2 oldest are gone.
+        for job_id in job_ids[:2]:
+            with pytest.raises(ServiceError) as excinfo:
+                client.job(job_id)
+            assert excinfo.value.status == 404
+        # The middle ones keep status metadata but no result/events.
+        for job_id in job_ids[2:5]:
+            status = client.job(job_id)
+            assert status["evicted"]
+            assert status["result"] is None
+            assert status["status"] == "done"
+            assert status["events_seen"] > 0
+            assert status["events_dropped"] == 0  # no ring evictions
+        # The newest keeps its full result.
+        newest = client.job(job_ids[-1])
+        assert not newest["evicted"]
+        assert newest["result"]["report"]["iterations"] == 2
+
+        metrics = client.metrics()
+        assert metrics["jobs"]["total"] == 6
+        assert metrics["jobs"]["retained"] == 4
+        assert metrics["jobs"]["forgotten"] == 2
+        assert metrics["jobs"]["compacted"] >= 3
+        assert metrics["events"]["emitted"] > 0  # forgotten jobs counted
+
+
+def test_remote_flag_rejects_local_checkpoint_flags(tmp_path, capsys):
+    """--checkpoint/--resume are local-run flags; combining them with
+    --remote is an error, not a silently non-resumable run."""
+    from repro.__main__ import main
+
+    assert main(["minipipe", "--remote", "http://127.0.0.1:1",
+                 "--checkpoint", str(tmp_path / "ckpt.jsonl")]) == 2
+    assert "--checkpoint/--resume" in capsys.readouterr().err
+
+
 def test_single_error_tg_request(tmp_path):
     """A campaign body with explicit error specs is the TG-request shape."""
     with running_server(tmp_path / "state") as server:
