@@ -20,6 +20,11 @@ propagation, learned no-goods, path-set cache):
   search-bound subset (errors no run deadline-caps), where the
   accelerators' real effect is visible.
 
+* **Refutation bound** — the ``setcc_ext.y[31]`` windows that pin the
+  per-error deadline: the CDCL refuter (``repro.core.clauses``) proves
+  the hardest window unsatisfiable in under a second where the
+  chronological search exhausts its whole backtrack budget.
+
 * **Cross-error reuse** — every bit/polarity error of a single bus
   (the real Table-1 campaign shape: ~8 errors per net), where the
   per-window path cache and memoized justifications pay repeatedly.
@@ -229,6 +234,175 @@ def test_table1_sample12_end_to_end(benchmark):
     # (no deadline pinning) must show the targeted >= 2x.
     assert speedup > 1.2
     assert search_speedup >= 1.8
+
+
+def test_ctrljust_refutation_bound(benchmark):
+    """The ``setcc_ext.y[31]`` window: refute instead of exhaust.
+
+    This error's justification windows are unjustifiable, and the worst
+    of them trips the chronological search's backtrack limit (~2000
+    backtracks) *per pose* — and a give-up is not a proof, so the TG
+    attempt loop re-poses the same window family across justification
+    variants and retries until the per-error deadline pins.  It is the
+    single error that dominates the table-1 campaign's wall clock.  The
+    CDCL refuter with a generous conflict budget *proves* the hardest
+    such window unsatisfiable in well under a second, once; the
+    certificate then retires every later pose of the family.  The
+    measurement runs the error with learning off, aggregates what the
+    chronological engine actually spent per window family, re-proves
+    the costliest refutable family, and checks the outcome stays
+    ABORTED with learning on or off.
+
+    A second, fully deterministic measurement uses the search-bound
+    ``ex_a.y[0] stuck-at-1`` error (no deadline involvement): its
+    unjustifiable window family is refuted once and certified, so the
+    learning run does the exhaustion work once instead of twice — a
+    direct CTRLJUST-backtrack reduction with byte-identical outcomes.
+    """
+    from repro.campaign import DlxCampaign
+    from repro.core import ctrljust
+    from repro.core.clauses import CdclRefuter
+    from repro.core.ctrljust import JustStatus
+
+    deadline = 6.0
+
+    def make_error(campaign):
+        return next(
+            e for e in campaign.default_errors()
+            if "setcc_ext.y[31] stuck-at-0" in e.describe()
+        )
+
+    # Baseline arm, instrumented: per-pose chronological cost of every
+    # failing window the TG attempt loop poses, keyed by objective set.
+    captured: list[tuple] = []
+    orig = ctrljust.CtrlJust.justify
+
+    def wrapped(self, objectives, pre_assignment=None):
+        start = time.process_time()
+        result = orig(self, objectives, pre_assignment)
+        seconds = time.process_time() - start
+        if (objectives and not pre_assignment
+                and result.status is JustStatus.FAILURE
+                and not result.deadline_hit):
+            captured.append((seconds, self.unrolled, tuple(objectives)))
+        return result
+
+    baseline = DlxCampaign(deadline_seconds=deadline)
+    baseline.generator.use_clause_learning = False
+    ctrljust.CtrlJust.justify = wrapped
+    try:
+        off_result = baseline.generator.generate(make_error(baseline))
+    finally:
+        ctrljust.CtrlJust.justify = orig
+    assert captured
+
+    families: dict[tuple, list] = {}
+    for seconds, unrolled, objectives in captured:
+        entry = families.setdefault(objectives, [0.0, 0, unrolled])
+        entry[0] += seconds
+        entry[1] += 1
+
+    # The costliest chronological family that a big budget can refute.
+    chosen = None
+    for objectives, (spent, poses, unrolled) in sorted(
+        families.items(), key=lambda kv: (-kv[1][0], kv[0]),
+    ):
+        def refute():
+            return CdclRefuter(
+                unrolled.network, list(objectives), conflict_limit=4096,
+            ).run()
+
+        start = time.monotonic()
+        probe = refute()
+        refute_seconds = time.monotonic() - start
+        if probe.refuted:
+            benchmark.pedantic(refute, rounds=1, iterations=1)
+            chosen = (objectives, spent, poses, probe, refute_seconds)
+            break
+    assert chosen is not None
+    objectives, chrono_seconds, poses, probe, refute_seconds = chosen
+
+    # Learning-on arm: counters moved, the outcome did not.
+    accel = DlxCampaign(deadline_seconds=deadline)
+    on_result = accel.generator.generate(make_error(accel))
+    assert on_result.status is off_result.status
+    assert on_result.refuted_unjustifiable > 0
+
+    # Deterministic effort measurement: both polarities of the
+    # search-bound ``ex_a.y[0]`` bus through one generator.  The
+    # exhaustion family proven while working the first error is
+    # certified, so the second error's pose of the same family is a
+    # certificate hit instead of a from-scratch exhaustion.
+    from repro.core.tg import TestGenerator
+    from repro.dlx.env import dlx_exposure_comparator
+
+    spots = [
+        e for e in accel.default_errors()
+        if "ex_a.y[0] stuck-at-" in e.describe()
+    ]
+    assert len(spots) == 2
+
+    def spot_run(learning: bool):
+        generator = TestGenerator(
+            accel.processor, deadline_seconds=10.0,
+            exposure_comparator=dlx_exposure_comparator,
+            use_clause_learning=learning,
+        )
+        return [generator.generate(e) for e in spots]
+
+    spot_on = spot_run(True)
+    spot_off = spot_run(False)
+    assert [r.status for r in spot_on] == [r.status for r in spot_off]
+    assert [r.attempts for r in spot_on] == [r.attempts for r in spot_off]
+    # The second error is where the certificate pays: its window family
+    # was already proven unjustifiable while working the first one.
+    assert spot_on[1].clause_hits >= 1
+    on_bt = spot_on[1].ctrljust_backtracks
+    off_bt = spot_off[1].ctrljust_backtracks
+    effort_ratio = off_bt / on_bt if on_bt else 0.0
+
+    ratio = chrono_seconds / refute_seconds if refute_seconds else 0.0
+    print()
+    print(f"setcc_ext.y[31] hardest refutable window "
+          f"({len(objectives)} objectives)")
+    print(f"  chronological thrash  {chrono_seconds * 1e3:9.1f} ms "
+          f"across {poses} pose(s), never a proof")
+    print(f"  CDCL refutation       {refute_seconds * 1e3:9.1f} ms "
+          f"({probe.conflicts} conflicts, core of {len(probe.core)}), "
+          f"certified for every later pose")
+    print(f"  learning-on error: {on_result.refuted_unjustifiable} "
+          f"window(s) refuted, {on_result.clause_hits} certificate "
+          f"hit(s), {on_result.backjumps} backjump(s); "
+          f"status {on_result.status.name} with learning on and off")
+    print(f"search-bound ex_a.y[0] bus, second error "
+          f"(same outcomes both arms):")
+    print(f"  CTRLJUST backtracks   {off_bt} (learning off) -> "
+          f"{on_bt} (learning on, {spot_on[1].clause_hits} certificate "
+          f"hit(s)) = {effort_ratio:.2f}x less exhaustion")
+    _RESULTS["refutation_bound"] = {
+        "error": "bus-ssl setcc_ext.y[31] stuck-at-0",
+        "n_objectives": len(objectives),
+        "chronological_seconds": chrono_seconds,
+        "chronological_poses": poses,
+        "refute_seconds": refute_seconds,
+        "refute_conflicts": probe.conflicts,
+        "core_size": len(probe.core),
+        "proof_vs_thrash_ratio": ratio,
+        "windows_refuted": on_result.refuted_unjustifiable,
+        "clause_hits": on_result.clause_hits,
+        "backjumps": on_result.backjumps,
+        "spot_error": "bus-ssl ex_a.y[0] stuck-at-1",
+        "spot_backtracks_off": off_bt,
+        "spot_backtracks_on": on_bt,
+        "spot_clause_hits": spot_on[1].clause_hits,
+        "spot_effort_ratio": effort_ratio,
+    }
+    # The acceptance targets: the deadline-pinning window is a
+    # sub-second proof, and on a search-bound error the certified
+    # proof cuts CTRLJUST exhaustion effort past the 1.5x bar (the
+    # end-to-end wall ratio is deadline-flattened; see PERFORMANCE.md).
+    assert refute_seconds < 1.0
+    assert effort_ratio >= 1.5
 
 
 def test_cross_error_reuse_same_bus(benchmark):

@@ -32,8 +32,11 @@ wall-clock time):
     ``justify_cache_hits`` (memoized CTRLJUST answers),
     ``path_cache_hits`` / ``path_cache_misses`` (DPTRACE selections) and
     ``dptrace_sweeps_avoided`` (full C/O recomputes the incremental
-    session replaced).  Emitted only when profiling is enabled
-    (``--profile``).
+    session replaced), and the CDCL refuter counters ``conflicts``,
+    ``learned_clauses``, ``backjumps``, ``clause_hits`` and
+    ``refuted_unjustifiable`` (windows proven unjustifiable instead of
+    search-exhausted; see ``repro.core.clauses``).  Emitted only when
+    profiling is enabled (``--profile``).
 ``profile-summary``
     The same fields as ``error-profile`` (minus ``error``/``index``),
     summed over every error.  One per profiled campaign, before
@@ -285,6 +288,14 @@ class ProgressRenderer:
                     f"{data['path_cache_hits']} path-cache hit(s), "
                     f"{data['dptrace_sweeps_avoided']} co-state "
                     f"sweep(s) avoided")
+            if "conflicts" in data:
+                self._line(
+                    f"profile: cdcl: "
+                    f"{data['refuted_unjustifiable']} window(s) refuted, "
+                    f"{data['conflicts']} conflict(s), "
+                    f"{data['learned_clauses']} clause(s) learned, "
+                    f"{data['backjumps']} backjump(s), "
+                    f"{data['clause_hits']} certificate hit(s)")
         elif event.kind == "campaign-interrupted":
             resume = (" (resumable via --resume)"
                       if data.get("resumable") else "")

@@ -90,8 +90,9 @@ def _worker_init(target: str, deadline_seconds: float) -> None:
     _WORKER_CAMPAIGN = build_campaign(target, deadline_seconds)
 
 
-def _worker_run(item: tuple[int, DesignError, list]):
-    """Run one error in the worker; pool learned no-goods both ways.
+def _worker_run(item: tuple[int, DesignError, list, list]):
+    """Run one error in the worker; pool learned no-goods and refutation
+    certificates both ways.
 
     The coordinator ships every record it knows with the task; the worker
     merges them (idempotent) before searching, and returns only what it
@@ -99,20 +100,26 @@ def _worker_run(item: tuple[int, DesignError, list]):
     fresh list; merged foreign records never re-export).
     """
     from repro.campaign.serialize import (
+        clause_records_from_wire,
+        clause_records_to_wire,
         nogood_records_from_wire,
         nogood_records_to_wire,
     )
 
-    index, error, records = item
+    index, error, records, clause_records = item
     nogoods = _WORKER_CAMPAIGN.generator.nogoods
+    clauses = _WORKER_CAMPAIGN.generator.clauses
     if records:
         nogoods.merge_records(nogood_records_from_wire(records))
+    if clause_records:
+        clauses.merge_records(clause_records_from_wire(clause_records))
     outcome, realized = _WORKER_CAMPAIGN._run_error_with_test(error)
     test = None
     if realized is not None:
         test = _WORKER_CAMPAIGN.serialize_realized(realized)
     learned = nogood_records_to_wire(nogoods.export_records())
-    return index, vars(outcome).copy(), test, learned
+    learned_clauses = clause_records_to_wire(clauses.export_records())
+    return index, vars(outcome).copy(), test, learned, learned_clauses
 
 
 def campaign_run_to_dict(
@@ -308,17 +315,21 @@ class CampaignOrchestrator:
         checkpoint: CampaignCheckpoint | None,
     ) -> int:
         from repro.campaign.serialize import (
+            clause_records_from_wire,
+            clause_records_to_wire,
             nogood_records_from_wire,
             nogood_records_to_wire,
         )
 
         config = self.config
         queue: deque[tuple[int, DesignError]] = deque(pending)
-        #: The coordinator's pooled no-good store: everything any worker
-        #: has reported so far, fanned back out with each dispatch.  It
-        #: rides on the coordinator campaign's own generator so a later
-        #: in-process run (or serial fallback) keeps the learning.
+        #: The coordinator's pooled no-good and certificate stores:
+        #: everything any worker has reported so far, fanned back out
+        #: with each dispatch.  They ride on the coordinator campaign's
+        #: own generator so a later in-process run (or serial fallback)
+        #: keeps the learning.
         pooled = self.campaign.generator.nogoods
+        pooled_clauses = self.campaign.generator.clauses
         with ProcessPoolExecutor(
             max_workers=config.jobs,
             initializer=_worker_init,
@@ -335,8 +346,11 @@ class CampaignOrchestrator:
                         "error-started", error=error.describe(), index=index
                     )
                     known = nogood_records_to_wire(pooled.all_records())
+                    known_clauses = clause_records_to_wire(
+                        pooled_clauses.all_records()
+                    )
                     future = pool.submit(
-                        _worker_run, (index, error, known)
+                        _worker_run, (index, error, known, known_clauses)
                     )
                     in_flight[future] = (index, error)
 
@@ -349,11 +363,17 @@ class CampaignOrchestrator:
                 for future in sorted(done, key=lambda f: in_flight[f][0]):
                     index, error = in_flight.pop(future)
                     try:
-                        _, outcome_dict, test, learned = future.result()
+                        (
+                            _, outcome_dict, test, learned, fresh_clauses,
+                        ) = future.result()
                         outcome = ErrorOutcome(**outcome_dict)
                         if learned:
                             pooled.merge_records(
                                 nogood_records_from_wire(learned)
+                            )
+                        if fresh_clauses:
+                            pooled_clauses.merge_records(
+                                clause_records_from_wire(fresh_clauses)
                             )
                     except Exception:
                         # A lost worker aborts the error, not the campaign.
@@ -448,6 +468,11 @@ class CampaignOrchestrator:
                 path_cache_hits=outcome.path_cache_hits,
                 path_cache_misses=outcome.path_cache_misses,
                 dptrace_sweeps_avoided=outcome.dptrace_sweeps_avoided,
+                conflicts=outcome.conflicts,
+                learned_clauses=outcome.learned_clauses,
+                backjumps=outcome.backjumps,
+                clause_hits=outcome.clause_hits,
+                refuted_unjustifiable=outcome.refuted_unjustifiable,
             )
 
     def _emit_profile_summary(self, report: CampaignReport) -> None:
@@ -473,6 +498,13 @@ class CampaignOrchestrator:
             path_cache_misses=sum(o.path_cache_misses for o in outcomes),
             dptrace_sweeps_avoided=sum(
                 o.dptrace_sweeps_avoided for o in outcomes
+            ),
+            conflicts=sum(o.conflicts for o in outcomes),
+            learned_clauses=sum(o.learned_clauses for o in outcomes),
+            backjumps=sum(o.backjumps for o in outcomes),
+            clause_hits=sum(o.clause_hits for o in outcomes),
+            refuted_unjustifiable=sum(
+                o.refuted_unjustifiable for o in outcomes
             ),
         )
 

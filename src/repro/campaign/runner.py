@@ -57,6 +57,15 @@ class ErrorOutcome:
     path_cache_hits: int = 0
     path_cache_misses: int = 0
     dptrace_sweeps_avoided: int = 0
+    #: CDCL refuter activity (see ``repro.core.clauses``): conflicts
+    #: analyzed, 1-UIP clauses learned, non-chronological backjumps,
+    #: certificate hits from the clause DB, and windows proven
+    #: unjustifiable (refuted instead of search-exhausted).
+    conflicts: int = 0
+    learned_clauses: int = 0
+    backjumps: int = 0
+    clause_hits: int = 0
+    refuted_unjustifiable: int = 0
 
 
 @dataclass
@@ -144,6 +153,11 @@ def _outcome_from_result(error: DesignError, result) -> ErrorOutcome:
         path_cache_hits=result.path_cache_hits,
         path_cache_misses=result.path_cache_misses,
         dptrace_sweeps_avoided=result.dptrace_sweeps_avoided,
+        conflicts=result.conflicts,
+        learned_clauses=result.learned_clauses,
+        backjumps=result.backjumps,
+        clause_hits=result.clause_hits,
+        refuted_unjustifiable=result.refuted_unjustifiable,
     )
 
 

@@ -133,18 +133,69 @@ def _nogood_decode(value):
 
 def nogood_records_to_wire(records) -> list:
     """Learned no-good records as JSON-able lists (the orchestrator's
-    worker <-> coordinator transport; see ``repro.core.nogoods``)."""
+    worker <-> coordinator transport; see ``repro.core.nogoods``).
+
+    Each row is ``[key, blamed, backtracks, [conflicts, learned,
+    backjumps, clause_hits, refuted]]`` — the CDCL column replays the
+    refuter's effort counters on a foreign hit.
+    """
     return [
-        [_nogood_encode(key), _nogood_encode(blamed), backtracks]
-        for key, (blamed, backtracks) in records
+        [_nogood_encode(key), _nogood_encode(blamed), backtracks,
+         list(cdcl)]
+        for key, (blamed, backtracks, cdcl) in records
     ]
 
 
 def nogood_records_from_wire(data) -> list:
-    """Inverse of :func:`nogood_records_to_wire`."""
+    """Inverse of :func:`nogood_records_to_wire`.
+
+    Rows written before the CDCL column existed decode with zeroed
+    counters.
+    """
+    records = []
+    for row in data:
+        key, blamed, backtracks = row[0], row[1], row[2]
+        cdcl = tuple(row[3]) if len(row) > 3 else (0, 0, 0, 0, 0)
+        records.append(
+            (_nogood_decode(key), (_nogood_decode(blamed), backtracks, cdcl))
+        )
+    return records
+
+
+def clause_records_to_wire(records) -> list:
+    """Refutation certificates as JSON-able lists (same transport as the
+    no-goods; see :class:`repro.core.clauses.ClauseDB`).
+
+    A record is ``(n_frames, cert_items, lbd)`` with absolute
+    ``((frame, name), value)`` literals; the wire form normalizes frames
+    to the certificate's minimum frame and carries the offset, mirroring
+    the no-good keys: ``[n_frames, offset, [[frame - offset, name,
+    value], ...], lbd]``.
+    """
+    wire = []
+    for n_frames, items, lbd in records:
+        offset = min((frame for (frame, _), _ in items), default=0)
+        wire.append([
+            n_frames, offset,
+            [[frame - offset, name, value]
+             for (frame, name), value in items],
+            lbd,
+        ])
+    return wire
+
+
+def clause_records_from_wire(data) -> list:
+    """Inverse of :func:`clause_records_to_wire`."""
     return [
-        (_nogood_decode(key), (_nogood_decode(blamed), backtracks))
-        for key, blamed, backtracks in data
+        (
+            n_frames,
+            tuple(
+                ((frame + offset, name), value)
+                for frame, name, value in items
+            ),
+            lbd,
+        )
+        for n_frames, offset, items, lbd in data
     ]
 
 
@@ -186,6 +237,13 @@ CACHE_TRAFFIC_KEYS = frozenset({
     "golden_hits", "golden_misses",
     "nogood_hits", "nogood_misses", "justify_cache_hits",
     "path_cache_hits", "path_cache_misses", "dptrace_sweeps_avoided",
+    # CDCL refuter traffic: a warm clause DB turns a fresh refutation
+    # (conflicts > 0) into a certificate hit (clause_hits = 1), and a
+    # certificate can refute a window a cold run would merely give up
+    # on — shifting `backtracks` while leaving outcomes and
+    # `final_backtracks` (the successful attempt's effort) untouched.
+    "conflicts", "learned_clauses", "backjumps", "clause_hits",
+    "refuted_unjustifiable", "backtracks",
 })
 
 

@@ -275,6 +275,34 @@ class ImplicationSession:
     def has_conflict(self) -> bool:
         return bool(self._conflicting_ids)
 
+    @property
+    def conflicting_ids(self) -> set[int]:
+        """Ids of overridden signals whose cone computes a different
+        concrete value — the conflict sites CDCL analysis starts from."""
+        return self._conflicting_ids
+
+    @property
+    def justified_ids(self) -> set[int]:
+        return self._justified_ids
+
+    def antecedent_literals(self, out: int) -> list[tuple[int, int]]:
+        """The implication-graph antecedents of driven id ``out``.
+
+        The session maintains the fixpoint invariant ``computed[out] =
+        eval3(inputs)``, and three-valued evaluation is monotone: once the
+        concrete inputs present at ``out`` imply its computed value, any
+        completion of the remaining ``None`` inputs implies the same
+        value.  The reason for ``computed[out]`` is therefore exactly the
+        non-``None`` input literals on the current trail — no per-event
+        recording is needed on the hot propagation path.
+        """
+        values = self.values
+        return [
+            (i, values[i])
+            for i in self.compiled.inputs_of[out]
+            if values[i] is not None
+        ]
+
     def is_justified(self, name: str) -> bool:
         return self.compiled.index[name] in self._justified_ids
 

@@ -14,7 +14,7 @@ detected/aborted outcomes and backtrack statistics.
   the window size, the frame-offset-normalized ordered objective set,
   the normalized control-side decision set, the justify variant and the
   backtrack limit; the entry records the blamed decisions and the failed
-  justification's backtrack count.  A hit skips both the doomed CTRLJUST
+  justification's backtrack and CDCL-refuter counters.  A hit skips both the doomed CTRLJUST
   run and the whole ``_blame`` pass.  These records are plain tuples of
   JSON-able scalars, so the campaign orchestrator ships them between
   worker processes (pooled at checkpoint boundaries) while keeping them
@@ -100,7 +100,11 @@ class LearnedNogoods:
 
     max_results: int = 512
 
-    #: blame key -> (blamed items tuple, recorded justify backtracks).
+    #: blame key -> (blamed items tuple, recorded justify backtracks,
+    #: recorded CDCL counters (conflicts, learned, backjumps, clause
+    #: hits, refuted 0/1)).  The CDCL column lets a replay reproduce the
+    #: refuter's effort accounting exactly, keeping learning on/off (and
+    #: warm/cold) counter-identical outside the cache-traffic keys.
     _blames: dict = field(default_factory=dict)
     #: Blame keys learned locally since the last :meth:`export_records`
     #: (what a worker still owes the coordinator).
@@ -117,7 +121,8 @@ class LearnedNogoods:
     # Failure no-goods
     # ------------------------------------------------------------------
     def lookup_blame(self, key):
-        """The recorded (blamed, backtracks) for ``key``, or ``None``."""
+        """The recorded (blamed, backtracks, cdcl) for ``key``, or
+        ``None``."""
         entry = self._blames.get(key)
         if entry is None:
             self.misses += 1
@@ -125,10 +130,27 @@ class LearnedNogoods:
             self.hits += 1
         return entry
 
-    def record_blame(self, key, blamed, backtracks: int) -> None:
+    def record_blame(
+        self,
+        key,
+        blamed,
+        backtracks: int,
+        cdcl: tuple = (0, 0, 0, 0, 0),
+        deadline_hit: bool = False,
+    ) -> None:
+        """Record a localized failure.
+
+        The taint rule is enforced here, uniformly for every call site:
+        a search (or blame pass) cut short by the deadline never learns,
+        because its blamed set is best-effort and wall-clock dependent —
+        the same rule :meth:`cached_justify` and :meth:`PathCache.store`
+        apply.
+        """
+        if deadline_hit:
+            return
         if key in self._blames:
             return
-        self._blames[key] = (tuple(blamed), backtracks)
+        self._blames[key] = (tuple(blamed), backtracks, tuple(cdcl))
         self._fresh.append(key)
 
     def __len__(self) -> int:

@@ -27,7 +27,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.controller.pipeline import UnrolledController
-from repro.core.ctrljust import CtrlJust, JustStatus
+from repro.core.clauses import ClauseDB
+from repro.core.ctrljust import CtrlJust, JustResult, JustStatus
 from repro.core.dprelax import DiscreteRelaxer
 from repro.core.dptrace import DPTrace, TraceStatus
 from repro.core.nogoods import (
@@ -129,6 +130,16 @@ class TGResult:
     path_cache_hits: int = 0
     path_cache_misses: int = 0
     dptrace_sweeps_avoided: int = 0
+    #: CDCL learning inside CTRLJUST (see ``repro.core.clauses``):
+    #: implication-graph conflicts analyzed, 1-UIP clauses learned,
+    #: non-chronological backjumps taken, certificate-database hits, and
+    #: justification questions *refuted* (proved unjustifiable) instead of
+    #: searched to exhaustion.
+    conflicts: int = 0
+    learned_clauses: int = 0
+    backjumps: int = 0
+    clause_hits: int = 0
+    refuted_unjustifiable: int = 0
 
 
 @dataclass
@@ -167,6 +178,29 @@ class TestGenerator:
     #: deterministic searches depend on; hits replay recorded effort
     #: counters), so disabling them changes wall clock only.
     use_learned_nogoods: bool = True
+    #: Conflict-driven clause learning in CTRLJUST: a CDCL probe tries to
+    #: *refute* each justification question before the chronological
+    #: search runs, and completed proofs persist as unjustifiability
+    #: certificates in :class:`ClauseDB` (superset-matched, so one
+    #: certificate retires whole families of objective sets and every
+    #: justify variant).  Refutation never produces a SUCCESS and
+    #: certificates are only consulted before a search, so
+    #: detected/aborted outcomes are byte-identical on or off.
+    use_clause_learning: bool = True
+    #: Conflict budget of one refutation probe.  Deliberately small:
+    #: measured refutations complete in a dozen conflicts, while a probe
+    #: on a *justifiable* question burns its whole budget before giving
+    #: up, so the limit is the probe's overhead cap.
+    refute_conflict_limit: int = 24
+    #: Conflict-directed backjumping inside the CTRLJUST search loop:
+    #: conflicts are explained as the decision set supporting them, and an
+    #: exhausted decision jumps straight to the deepest implicated level.
+    #: Decisions, verdicts and SUCCESS assignments are identical to the
+    #: chronological unwind (skipped subtrees are semantic nogoods); only
+    #: backtrack counts shrink, so this is a pure search-effort knob kept
+    #: separate from ``use_clause_learning`` to preserve that toggle's
+    #: byte-identical on/off contract.
+    use_backjumping: bool = True
     #: Run exposure checks on the compiled datapath kernels, screening the
     #: bad-machine co-simulation with a cone fork against the golden trace
     #: (:mod:`repro.datapath.faultsim`).  ``False`` restores the fully
@@ -197,6 +231,18 @@ class TestGenerator:
     #: Memoized DPTRACE selections per window fingerprint.
     _path_cache: PathCache = field(default_factory=PathCache, repr=False)
     _sweeps_avoided: int = field(default=0, repr=False)
+    #: Unjustifiability certificates learned by the CDCL refuter; shared
+    #: across errors like ``nogoods`` and shipped between orchestrator
+    #: workers / kept warm by the campaign service.
+    clauses: ClauseDB = field(default_factory=ClauseDB, repr=False)
+    #: Questions whose refutation probe already gave up (SAT or budget
+    #: exhausted), mapped to the probe's recorded effort counters.  The
+    #: refuter is deterministic, so re-probing the same objective set —
+    #: the justify-variants retry loop re-asks constantly — would burn
+    #: the same conflicts to learn nothing; a hit skips the probe and
+    #: replays the counters instead.  Deadline-cut probes are never
+    #: recorded (wall-clock dependence).
+    _refute_futile: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_frames is None:
@@ -341,14 +387,33 @@ class TestGenerator:
                      self._blame_backtrack_limit()),
                 )
                 nogood = self.nogoods.lookup_blame(bkey)
+                if (
+                    nogood is not None
+                    and self.use_clause_learning
+                    and self.clauses.lookup(
+                        n_frames, accumulated_items
+                    ) is not None
+                ):
+                    # Certificates outrank the blame replay, exactly as
+                    # they precede the memo inside ``_justify``: a
+                    # recompute would refute via the certificate at zero
+                    # search cost, so replaying the (pre-certificate)
+                    # recorded effort would break the no-goods on/off
+                    # counter identity.  Take the live path instead.
+                    nogood = None
             if nogood is not None:
                 # A previous error already proved this objective set
                 # unjustifiable and localized the conflict: replay the
                 # recorded outcome (backtracks included) without running
                 # CTRLJUST or the blame probes at all.
-                blamed, recorded_backtracks = nogood
+                blamed, recorded_backtracks, recorded_cdcl = nogood
                 result.ctrljust_backtracks += recorded_backtracks
                 result.backtracks += recorded_backtracks
+                result.conflicts += recorded_cdcl[0]
+                result.learned_clauses += recorded_cdcl[1]
+                result.backjumps += recorded_cdcl[2]
+                result.clause_hits += recorded_cdcl[3]
+                result.refuted_unjustifiable += recorded_cdcl[4]
                 for item in blamed:
                     discouraged.add(item)
                 accumulated = {}
@@ -367,6 +432,12 @@ class TestGenerator:
             self._phase(result, "ctrljust", phase_start)
             result.ctrljust_backtracks += just.backtracks
             result.backtracks += just.backtracks
+            result.conflicts += just.conflicts
+            result.learned_clauses += just.learned_clauses
+            result.backjumps += just.backjumps
+            result.clause_hits += just.clause_hits
+            if just.refuted:
+                result.refuted_unjustifiable += 1
             if just.status is not JustStatus.SUCCESS:
                 # Find which decision actually breaks justifiability and
                 # discourage only that one; then re-select on a rotated
@@ -379,12 +450,20 @@ class TestGenerator:
                 for item in blamed:
                     discouraged.add(item)
                 self._phase(result, "ctrljust", phase_start)
-                if (
-                    self.use_learned_nogoods
-                    and not tainted
-                    and not just.deadline_hit
-                ):
-                    self.nogoods.record_blame(bkey, blamed, just.backtracks)
+                if self.use_learned_nogoods:
+                    # The taint guard lives inside record_blame so every
+                    # call site applies the same rule: a deadline-cut
+                    # search never learns (best-effort blame could pin
+                    # the wrong objective).
+                    self.nogoods.record_blame(
+                        bkey, blamed, just.backtracks,
+                        cdcl=(
+                            just.conflicts, just.learned_clauses,
+                            just.backjumps, just.clause_hits,
+                            int(just.refuted),
+                        ),
+                        deadline_hit=tainted or just.deadline_hit,
+                    )
                 accumulated = {}
                 implied_ctrl = {}
                 variant += 1
@@ -550,9 +629,48 @@ class TestGenerator:
 
     def _justify(
         self, unrolled, objectives, key_items, justify_variant, limit,
-        deadline_at,
+        deadline_at, learn_certs=True,
     ):
-        """CTRLJUST with the justification-result memo in front."""
+        """CTRLJUST with certificates and the result memo in front.
+
+        The certificate check runs first, *before* the memo and the blame
+        no-goods: a stored unjustifiability core that is a subset of the
+        question's objectives refutes it outright — for any variant or
+        limit, since unjustifiability is a property of the objective set
+        alone.  Checking certificates ahead of every replay layer keeps
+        the accelerators' effort accounting consistent with a recompute
+        (once a core is known, both paths answer "refuted, zero
+        backtracks").
+
+        Certificates are (re-)asserted from the *returned* result — after
+        the memo, so a replayed answer teaches the same certificate a
+        recompute would.  ``learn_certs=False`` (the blame probes) skips
+        the assertion entirely: blame results replay wholesale from the
+        no-good store without re-running their probe sequence, so any
+        certificate learned under a probe would exist only on the
+        recompute side and break the on/off outcome identity.
+        """
+        if self.use_clause_learning:
+            cert = self.clauses.lookup(unrolled.n_frames, key_items)
+            if cert is not None:
+                return JustResult(
+                    JustStatus.FAILURE, refuted=True, clause_hits=1,
+                    core=tuple(sorted(
+                        (unrolled.instance(frame, name), value)
+                        for (frame, name), value in cert
+                    )),
+                )
+
+        futile_key = (unrolled.n_frames, key_items)
+        recorded = (
+            self._refute_futile.get(futile_key)
+            if self.use_clause_learning else None
+        )
+        refute_budget = (
+            self.refute_conflict_limit if self.use_clause_learning else 0
+        )
+        if recorded is not None:
+            refute_budget = 0
 
         def compute():
             engine = CtrlJust(
@@ -560,15 +678,59 @@ class TestGenerator:
                 variant=justify_variant,
                 incremental=self.use_incremental_implication,
                 deadline=deadline_at,
+                refute_conflicts=refute_budget,
+                backjump=self.use_backjumping,
             )
-            return engine.justify(objectives)
+            result = engine.justify(objectives)
+            if recorded is not None:
+                # Replay the skipped probe's effort so counters match a
+                # recompute exactly (the same contract as a no-good hit).
+                result.conflicts += recorded[0]
+                result.learned_clauses += recorded[1]
+                result.backjumps += recorded[2]
+            elif (
+                refute_budget
+                and not result.refuted
+                and not result.deadline_hit
+            ):
+                self._refute_futile[futile_key] = (
+                    result.conflicts, result.learned_clauses,
+                    result.backjumps,
+                )
+            return result
 
         if not self.use_learned_nogoods:
-            return compute()
-        key = justify_key(
-            unrolled.n_frames, key_items, justify_variant, limit
-        )
-        return self.nogoods.cached_justify(key, compute)
+            result = compute()
+        else:
+            key = justify_key(
+                unrolled.n_frames, key_items, justify_variant, limit
+            )
+            result = self.nogoods.cached_justify(key, compute)
+        if (
+            learn_certs
+            and self.use_clause_learning
+            and not result.deadline_hit
+        ):
+            if result.refuted and result.core:
+                self.clauses.add(
+                    unrolled.n_frames,
+                    tuple(
+                        (unrolled.frame_and_signal(inst), value)
+                        for inst, value in result.core
+                    ),
+                    result.core_lbd,
+                )
+            elif result.status is JustStatus.FAILURE and result.exhausted:
+                # An emptied decision stack is a complete search proof:
+                # the whole objective set is unjustifiable for every
+                # variant.  Certify it so variant rotation and future
+                # errors refute instantly instead of re-running the
+                # exhaustion.  The wide LBD ranks these below 1-UIP
+                # cores under eviction.
+                self.clauses.add(
+                    unrolled.n_frames, tuple(key_items), len(key_items)
+                )
+        return result
 
     def _blame(
         self,
@@ -597,7 +759,7 @@ class TestGenerator:
         def justify(instances, key_items) -> bool | None:
             just = self._justify(
                 unrolled, instances, tuple(key_items), justify_variant,
-                limit, deadline_at,
+                limit, deadline_at, learn_certs=False,
             )
             if just.deadline_hit:
                 return None

@@ -1,6 +1,7 @@
 """Warm per-machine-identity campaign state shared across service requests.
 
-Every accelerator the repo has grown — learned no-goods, the golden-trace
+Every accelerator the repo has grown — learned no-goods, CDCL
+unjustifiability certificates (``repro.core.clauses``), the golden-trace
 cache, the path-set cache, memoized justification answers, compiled
 implication networks and datapath kernels — lives on (or hangs off) one
 :class:`~repro.campaign.runner.CampaignBase` instance: the generator owns
@@ -50,6 +51,7 @@ def generator_cache_counters(generator) -> dict[str, dict[str, int]]:
         "nogood": generator.nogoods.stats(),
         "golden": generator._golden.stats(),
         "path": generator._path_cache.stats(),
+        "clause": generator.clauses.stats(),
     }
 
 
@@ -58,6 +60,7 @@ def _store_sizes(generator) -> dict[str, int]:
         "nogood_records": len(generator.nogoods),
         "golden_traces": len(generator._golden),
         "path_entries": len(generator._path_cache),
+        "clause_records": len(generator.clauses),
     }
 
 

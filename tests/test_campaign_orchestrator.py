@@ -254,13 +254,16 @@ def test_interrupt_parallel_run_leaves_tail_unattempted(tmp_path):
 def test_worker_entry_points_in_process():
     """The pool worker functions themselves, run in-process."""
     _worker_init("mini", 10.0)
-    index, outcome_dict, test, learned = _worker_run((7, ERRORS[0], []))
+    index, outcome_dict, test, learned, learned_clauses = _worker_run(
+        (7, ERRORS[0], [], [])
+    )
     assert index == 7
     assert outcome_dict["detected"]
     assert outcome_dict["error"] == ERRORS[0].describe()
     assert test["kind"] == "mini-test"
     assert len(test["program"]) == outcome_dict["test_length"]
     assert isinstance(learned, list)
+    assert isinstance(learned_clauses, list)
 
 
 def test_campaign_run_to_dict_shape():

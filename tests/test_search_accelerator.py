@@ -190,6 +190,64 @@ def test_tg_learning_on_off_identical_dlx_spot():
     assert on == off
 
 
+def _outcome_fields(results):
+    """Outcome-only projection of ``_generate_all`` rows: error, status,
+    dptrace backtracks, attempts, frames and the final test — everything
+    except the CTRLJUST effort counters, which clause learning and
+    backjumping are *allowed* (indeed expected) to shrink."""
+    return [
+        (error, status, dpt, attempts, frames, test)
+        for (error, status, _bt, dpt, _cj, _fin, attempts, frames, test)
+        in results
+    ]
+
+
+def test_tg_clause_learning_on_off_identical_outcomes_mini(mini):
+    """CDCL refutation changes effort only: detected/aborted outcomes and
+    the emitted tests are byte-identical with learning on or off."""
+    errors = enumerate_bus_ssl(mini.datapath, stages={1, 2})[::8]
+    accel, on = _generate_all(mini, errors, use_clause_learning=True)
+    _, off = _generate_all(mini, errors, use_clause_learning=False)
+    assert _outcome_fields(on) == _outcome_fields(off)
+    # The machinery engaged: a certificate was learned and then re-hit.
+    assert accel.clauses.added > 0
+    assert accel.clauses.hits > 0
+
+
+def test_tg_clause_learning_on_off_identical_outcomes_dlx():
+    """DLX spot check: the refuter retires an exhaustion family (fewer
+    CTRLJUST backtracks, a clause hit) without moving any outcome."""
+    from repro.dlx.machine import build_dlx
+
+    processor = build_dlx()
+    errors = enumerate_bus_ssl(processor.datapath, stages={2})[:2]
+    accel, on = _generate_all(processor, errors, use_clause_learning=True)
+    _, off = _generate_all(processor, errors, use_clause_learning=False)
+    assert _outcome_fields(on) == _outcome_fields(off)
+    # Learning actually saved work on this workload: the second error's
+    # unjustifiable window is refuted and later certified instead of
+    # being exhausted twice.
+    assert accel.clauses.added > 0
+    assert sum(r[4] for r in on) < sum(r[4] for r in off)
+
+
+def test_tg_backjumping_verdict_identity(mini):
+    """CBJ skips refuted subtrees only: same decisions, same verdicts,
+    same tests — with and without backjumping, on both machines."""
+    from repro.dlx.machine import build_dlx
+
+    errors = enumerate_bus_ssl(mini.datapath, stages={1, 2})[::8]
+    _, on = _generate_all(mini, errors, use_backjumping=True)
+    _, off = _generate_all(mini, errors, use_backjumping=False)
+    assert _outcome_fields(on) == _outcome_fields(off)
+
+    processor = build_dlx()
+    errors = enumerate_bus_ssl(processor.datapath, stages={2})[:2]
+    _, on = _generate_all(processor, errors, use_backjumping=True)
+    _, off = _generate_all(processor, errors, use_backjumping=False)
+    assert _outcome_fields(on) == _outcome_fields(off)
+
+
 def test_tgresult_exposes_last_attempt_justified(mini):
     error = enumerate_bus_ssl(mini.datapath, stages={1})[0]
     generator = TestGenerator(mini, deadline_seconds=10.0)
@@ -256,8 +314,8 @@ def test_nogood_records_roundtrip_and_pooling():
     key = blame_key(6, items, items, {items[0]}, 1, (2000, 500))
     store = LearnedNogoods()
     assert store.lookup_blame(key) is None  # miss counted
-    store.record_blame(key, [items[0]], 1234)
-    assert store.lookup_blame(key) == ((items[0],), 1234)
+    store.record_blame(key, [items[0]], 1234, cdcl=(7, 3, 2, 1, 1))
+    assert store.lookup_blame(key) == ((items[0],), 1234, (7, 3, 2, 1, 1))
     assert store.hits == 1 and store.misses == 1
 
     wire = nogood_records_to_wire(store.export_records())
@@ -266,7 +324,16 @@ def test_nogood_records_roundtrip_and_pooling():
     decoded = nogood_records_from_wire(wire)
     other = LearnedNogoods()
     assert other.merge_records(decoded) == 1
-    assert other.lookup_blame(key) == ((items[0],), 1234)
+    assert other.lookup_blame(key) == ((items[0],), 1234, (7, 3, 2, 1, 1))
+    # Pre-CDCL rows (three columns) decode with zeroed counters.
+    legacy_key = blame_key(6, items, items, set(), 2, (2000, 500))
+    legacy = nogood_records_from_wire(
+        [[row[0] if i == 0 else row[i] for i in range(3)]
+         for row in nogood_records_to_wire(
+             [(legacy_key, ((items[1],), 9, (0, 0, 0, 0, 0)))]
+         )]
+    )
+    assert legacy == [(legacy_key, ((items[1],), 9, (0, 0, 0, 0, 0)))]
     # Merged (foreign) records do not re-export.
     assert other.export_records() == []
     # Re-merge is idempotent.
