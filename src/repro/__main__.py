@@ -8,8 +8,9 @@ Commands:
 * ``generate NET BIT STUCK``    — generate a test for one bus SSL error
 * ``minipipe [--sample N] [--dropping] [--jobs N] [--checkpoint PATH]
   [--resume] [--json OUT]``     — run the MiniPipe campaign
-* ``fuzz [--machine M] [--iters N] [--seed S] [--jobs N] [--budget 60s]
-  [--plant SPEC] [--matrix] [--baseline PATH] [--report-dir DIR]``
+* ``fuzz [--machine M] [--iters N] [--seed S] [--jobs N] [--lanes N]
+  [--budget 60s] [--plant SPEC] [--matrix] [--baseline PATH]
+  [--report-dir DIR]``
   — differential fuzzing of the spec-vs-implementation oracle and/or the
   error-model conformance matrix (see ``docs/FUZZING.md``)
 * ``serve [--host H] [--port P] [--state-dir DIR] ...`` — run the
@@ -252,7 +253,7 @@ def cmd_fuzz(args) -> int:
                 machine=args.machine, iters=args.iters, seed=args.seed,
                 length=args.length, jobs=args.jobs,
                 budget_seconds=args.budget, plant=args.plant,
-                max_minimize=args.max_minimize,
+                max_minimize=args.max_minimize, lanes=args.lanes,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -298,6 +299,7 @@ def cmd_fuzz(args) -> int:
                 length=args.length, seed=args.seed,
                 sample=args.matrix_sample,
                 max_bits_per_net=4 if machine.startswith("dlx") else None,
+                lanes=args.lanes,
             )
             fragments[machine] = run_matrix(config, events=events)
         artifact = matrix_artifact(fragments)
@@ -400,6 +402,12 @@ def main(argv: list[str] | None = None) -> int:
                              "bus-ssl:alu_add.y:0:1, mse:alu_add, "
                              "boe:opa_mux — divergences become expected "
                              "detections")
+    p_fuzz.add_argument("--lanes", type=int, default=None, metavar="N",
+                        help="batched-kernel lane width: omit for auto "
+                             "(batched when numpy is available), 0 for the "
+                             "scalar kernels, N>=1 to batch N programs per "
+                             "kernel call (reports are byte-identical at "
+                             "any width)")
     p_fuzz.add_argument("--max-minimize", type=int, default=5,
                         help="minimize at most N diverging cases "
                              "(default 5)")

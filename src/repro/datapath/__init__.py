@@ -4,6 +4,13 @@ Public surface: the net/module structures, the module library, the fluent
 :class:`DatapathBuilder`, and the concrete :class:`DatapathSimulator`.
 """
 
+from repro.datapath.batched import (
+    HAS_NUMPY,
+    BatchedDatapath,
+    BatchedDatapathSimulator,
+    batched_datapath,
+    effective_lanes,
+)
 from repro.datapath.builder import DatapathBuilder
 from repro.datapath.compiled import CompiledDatapath, CompiledDatapathSimulator
 from repro.datapath.faultsim import BatchFaultSimulator, ForkOutcome
@@ -14,8 +21,13 @@ from repro.datapath.simulate import DatapathSimulator, Injector, no_injection
 
 __all__ = [
     "BatchFaultSimulator",
+    "BatchedDatapath",
+    "BatchedDatapathSimulator",
     "CompiledDatapath",
     "CompiledDatapathSimulator",
+    "HAS_NUMPY",
+    "batched_datapath",
+    "effective_lanes",
     "DatapathBuilder",
     "ForkOutcome",
     "DatapathSimulator",

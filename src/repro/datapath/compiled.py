@@ -21,10 +21,15 @@ Generated sources can be dumped for debugging by setting the
 ``<dir>/kernel_<netlist>.py`` and are gitignored).
 
 Semantics are bit-identical to the interpretive simulator (enforced by
-differential tests): externals are *not* masked, constants and register
-outputs pass through the injector like every other net, mux out-of-range
-selects choose input 0, tri-states pull to 0, and register clocking follows
-``RegisterModule.next_state`` (clear wins, then hold on not-enable).
+differential tests): externals are masked to the net width at emission
+(*before* injection), injector and override results are masked to the net
+width, constants and register outputs pass through the injector like every
+other net, mux out-of-range selects choose input 0, tri-states pull to 0,
+and register clocking follows ``RegisterModule.next_state`` (clear wins,
+then hold on not-enable).  The emission masks keep every stored value inside
+its net's width even for out-of-range environment inputs — the invariant the
+batched numpy backend (:mod:`repro.datapath.batched`) relies on, since
+uint64 lane arrays cannot hold unbounded Python ints.
 """
 
 from __future__ import annotations
@@ -50,8 +55,12 @@ def _ts(v, sign, modulus):
     return v - modulus if v & sign else v
 
 
-def _pp(module, in_ids, ctl_ids, values, override):
-    """Generic three-valued module evaluation (partial-kernel fallback)."""
+def _pp(module, in_ids, ctl_ids, values, override, m):
+    """Generic three-valued module evaluation (partial-kernel fallback).
+
+    Results are masked to the output net's width (``m``) so overrides with
+    out-of-range results share the masked semantics of every backend.
+    """
     controls = [values[i] for i in ctl_ids]
     for c in controls:
         if c is None:
@@ -62,8 +71,8 @@ def _pp(module, in_ids, ctl_ids, values, override):
             return None
     inputs = [0 if v is None else v for v in inputs]
     if override is not None:
-        return override(inputs, controls)
-    return module.evaluate(inputs, controls)
+        return override(inputs, controls) & m
+    return module.evaluate(inputs, controls) & m
 
 
 def _inline_expr(module, a: list[str]) -> str | None:
@@ -153,6 +162,8 @@ class CompiledDatapath:
         self.names: tuple[str, ...] = tuple(netlist.nets)
         self.index: dict[str, int] = {n: i for i, n in enumerate(self.names)}
         self.n_nets = len(self.names)
+        self.net_width = [netlist.nets[n].width for n in self.names]
+        self.net_mask = [mask(w) for w in self.net_width]
         idx = self.index
 
         self.ext_pairs: list[tuple[int, str]] = [
@@ -265,7 +276,8 @@ class CompiledDatapath:
             if expr is None or ctls:
                 if partial:
                     body.append(
-                        f"_v = _pp(_m{k}, _ti{k}, _tc{k}, values, None)"
+                        f"_v = _pp(_m{k}, _ti{k}, _tc{k}, values, None, "
+                        f"{self.net_mask[out]})"
                     )
                 else:
                     args_in = ", ".join(f"values[{i}]" for i in ins)
@@ -281,15 +293,17 @@ class CompiledDatapath:
             else:
                 body.append(f"_v = {expr}")
         if hooked:
+            m = self.net_mask[out]
             lines = [f"if {k} in ovr:",
-                     f"    _v = _pp(_m{k}, _ti{k}, _tc{k}, values, ovr[{k}])",
+                     f"    _v = _pp(_m{k}, _ti{k}, _tc{k}, values, "
+                     f"ovr[{k}], {m})",
                      "else:"]
             lines += ["    " + line for line in body]
             if partial:
                 lines.append(f"if {out} in inj and _v is not None:")
             else:
                 lines.append(f"if {out} in inj:")
-            lines.append(f"    _v = inj[{out}](_v)")
+            lines.append(f"    _v = inj[{out}](_v) & {m}")
             lines.append(f"values[{out}] = _v")
             return lines
         # Plain: collapse the temp into a direct store when possible.
@@ -299,23 +313,32 @@ class CompiledDatapath:
 
     def _source_sources(self, hooked: bool, partial: bool) -> list[str]:
         lines: list[str] = []
-        emits: list[tuple[int, str]] = []
+        emits: list[tuple[int, str, bool]] = []
+        # Externals are masked to the net width at emission, before
+        # injection; constants and register state are in-range by invariant
+        # (masked at construction / clocking / set_stimulus_state).
         for i, _ in self.ext_pairs:
-            emits.append((i, f"external[{i}]"))
+            m = self.net_mask[i]
+            if partial:
+                expr = (f"None if external[{i}] is None "
+                        f"else external[{i}] & {m}")
+            else:
+                expr = f"external[{i}] & {m}"
+            emits.append((i, expr, True))
         for i, value in self.const_slots:
-            emits.append((i, str(value)))
+            emits.append((i, str(value), False))
         for j, i in enumerate(self.reg_q_ids):
-            emits.append((i, f"state[{j}]"))
-        for i, expr in emits:
+            emits.append((i, f"state[{j}]", False))
+        for i, expr, paren in emits:
             if not hooked:
                 lines.append(f"values[{i}] = {expr}")
                 continue
-            lines.append(f"_v = {expr}")
+            lines.append(f"_v = ({expr})" if paren else f"_v = {expr}")
             if partial:
                 lines.append(f"if {i} in inj and _v is not None:")
             else:
                 lines.append(f"if {i} in inj:")
-            lines.append(f"    _v = inj[{i}](_v)")
+            lines.append(f"    _v = inj[{i}](_v) & {self.net_mask[i]}")
             lines.append(f"values[{i}] = _v")
         return lines
 

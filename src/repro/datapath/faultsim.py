@@ -88,14 +88,20 @@ class BatchFaultSimulator:
     screening mode counts them as observable.
     """
 
-    def __init__(self, processor, golden_trace, observed_extra=()) -> None:
+    def __init__(self, processor, golden_trace=None, observed_extra=(),
+                 dense_cycles=None) -> None:
         self.processor = processor
         self.cd = processor.datapath.compiled()
         cd = self.cd
-        self.cycles: list[list] = [
-            [cycle.datapath.get(name) for name in cd.names]
-            for cycle in golden_trace.cycles
-        ]
+        if dense_cycles is not None:
+            # Pre-densified golden cycles (e.g. from the batched lane
+            # environments, which produce dense per-lane arrays directly).
+            self.cycles = dense_cycles
+        else:
+            self.cycles = [
+                [cycle.datapath.get(name) for name in cd.names]
+                for cycle in golden_trace.cycles
+            ]
         self.sts_set = frozenset(cd.sts_ids)
         self.dpo_set = frozenset(cd.dpo_ids)
         self.observed_set = frozenset(
@@ -142,6 +148,7 @@ class BatchFaultSimulator:
         )
         fanout = cd.fanout_sched
         n_regs = len(cd.registers)
+        net_mask = cd.net_mask
 
         # Permanent per-cycle seeds: overridden / injected combinational
         # modules re-evaluate every cycle; injected source nets re-emit.
@@ -187,7 +194,10 @@ class BatchFaultSimulator:
                 q_id = cd.reg_q_ids[j]
                 raw = state_diff.get(j, golden[q_id])
                 fn = inj_q.get(j)
-                value = fn(raw) if fn is not None and raw is not None else raw
+                value = (
+                    fn(raw) & net_mask[q_id]
+                    if fn is not None and raw is not None else raw
+                )
                 if value != golden[q_id]:
                     overlay[q_id] = value
                     touch(q_id)
@@ -195,7 +205,7 @@ class BatchFaultSimulator:
                 base = golden[i]
                 if base is None:
                     continue  # partial sources skip injection on unknowns
-                value = fn(base)
+                value = fn(base) & net_mask[i]
                 if value != golden[i]:
                     overlay[i] = value
                     touch(i)
@@ -217,14 +227,14 @@ class BatchFaultSimulator:
                         inputs = [0 if v is None else v for v in inputs]
                         fn = ovr.get(k)
                         if fn is not None:
-                            value = fn(inputs, controls)
+                            value = fn(inputs, controls) & net_mask[sched_out[k]]
                         else:
                             value = module.evaluate(inputs, controls)
                         evals += 1
                 out = sched_out[k]
                 fn = inj.get(out)
                 if fn is not None and value is not None:
-                    value = fn(value)
+                    value = fn(value) & net_mask[out]
                 if value != golden[out]:
                     overlay[out] = value
                     touch(out)

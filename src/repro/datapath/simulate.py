@@ -20,6 +20,7 @@ from typing import Callable, Mapping, Sequence
 from repro.datapath.module import ModuleClass
 from repro.datapath.modules import ConstantModule
 from repro.datapath.netlist import Netlist
+from repro.utils.bits import mask
 
 #: An injector maps (net name, fault-free value) -> possibly corrupted value.
 Injector = Callable[[str, int], int]
@@ -62,15 +63,25 @@ class DatapathSimulator:
         self._ext_names = [
             net.name for net in netlist.nets.values() if net.is_external_input
         ]
-        self._sources: list[tuple[str, int | None, str | None]] = []
+        # Externals are masked to the net width at emission (before
+        # injection), and injector/override results are masked to the output
+        # net width — the semantics shared with the compiled and batched
+        # kernel backends.
+        self._ext_masks = [
+            (net.name, mask(net.width))
+            for net in netlist.nets.values() if net.is_external_input
+        ]
+        self._sources: list[tuple[str, int | None, str | None, int]] = []
         for module in netlist.modules.values():
             if isinstance(module, ConstantModule):
                 self._sources.append(
-                    (module.output.net.name, module.value, None)
+                    (module.output.net.name, module.value, None,
+                     mask(module.output.net.width))
                 )
             elif module.module_class is ModuleClass.STATE:
                 self._sources.append(
-                    (module.output.net.name, None, module.name)
+                    (module.output.net.name, None, module.name,
+                     mask(module.output.net.width))
                 )
         self._plan = []
         for module in self._order:
@@ -80,6 +91,7 @@ class DatapathSimulator:
                 module, module.output.net.name, in_names, ctl_names,
                 [0] * len(in_names), [0] * len(ctl_names),
                 self.module_overrides.get(module.name),
+                mask(module.output.net.width),
             ))
         self._reg_plan = [
             (reg, reg.name, reg.data_inputs[0].net.name,
@@ -105,29 +117,31 @@ class DatapathSimulator:
         state = self.state
 
         if fault_free:
-            for name in self._ext_names:
-                values[name] = get(name, 0)
-            for name, const, reg in self._sources:
+            for name, m in self._ext_masks:
+                values[name] = get(name, 0) & m
+            for name, const, reg, _ in self._sources:
                 values[name] = const if reg is None else state[reg]
         else:
-            for name in self._ext_names:
-                values[name] = injector(name, get(name, 0))
-            for name, const, reg in self._sources:
+            for name, m in self._ext_masks:
+                values[name] = injector(name, get(name, 0) & m) & m
+            for name, const, reg, m in self._sources:
                 values[name] = injector(
                     name, const if reg is None else state[reg]
-                )
+                ) & m
 
         for (module, out, in_names, ctl_names, in_buf, ctl_buf,
-             override) in self._plan:
+             override, out_mask) in self._plan:
             for i, n in enumerate(in_names):
                 in_buf[i] = values[n]
             for i, n in enumerate(ctl_names):
                 ctl_buf[i] = values[n]
             if override is not None:
-                result = override(in_buf, ctl_buf)
+                result = override(in_buf, ctl_buf) & out_mask
             else:
                 result = module.evaluate(in_buf, ctl_buf)
-            values[out] = result if fault_free else injector(out, result)
+            values[out] = (
+                result if fault_free else injector(out, result) & out_mask
+            )
         return values
 
     def evaluate_partial(
@@ -146,18 +160,20 @@ class DatapathSimulator:
         get = external.get
         state = self.state
 
-        for name in self._ext_names:
+        for name, m in self._ext_masks:
             value = get(name)
+            if value is not None:
+                value = value & m
             if value is None or fault_free:
                 values[name] = value
             else:
-                values[name] = injector(name, value)
-        for name, const, reg in self._sources:
+                values[name] = injector(name, value) & m
+        for name, const, reg, m in self._sources:
             value = const if reg is None else state[reg]
-            values[name] = value if fault_free else injector(name, value)
+            values[name] = value if fault_free else injector(name, value) & m
 
         for (module, out, in_names, ctl_names, in_buf, ctl_buf,
-             override) in self._plan:
+             override, out_mask) in self._plan:
             unknown = False
             for i, n in enumerate(ctl_names):
                 value = values[n]
@@ -179,10 +195,12 @@ class DatapathSimulator:
                 if value is None:
                     in_buf[i] = 0
             if override is not None:
-                result = override(in_buf, ctl_buf)
+                result = override(in_buf, ctl_buf) & out_mask
             else:
                 result = module.evaluate(in_buf, ctl_buf)
-            values[out] = result if fault_free else injector(out, result)
+            values[out] = (
+                result if fault_free else injector(out, result) & out_mask
+            )
         return values
 
     def step(self, external: Mapping[str, int]) -> dict[str, int]:

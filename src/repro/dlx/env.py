@@ -216,6 +216,7 @@ def batch_detects(
     init_regs: Sequence[int] | None = None,
     init_memory: dict[int, int] | None = None,
     stats: list | None = None,
+    golden: tuple | None = None,
 ) -> list[bool]:
     """``[detects(processor, program, e, ...) for e in errors]`` via one
     golden run plus cone forks (:mod:`repro.datapath.faultsim`).
@@ -226,15 +227,24 @@ def batch_detects(
     environment reads — the DPO pins, the STS nets, or ``mem_alu.y`` —
     leaves every stimulus and every commit identical to the golden run and
     inherits the golden verdict.  Any touch is confirmed serially.
+
+    ``golden`` optionally supplies a precomputed fault-free run as
+    ``(result, trace, dense_cycles)`` — e.g. one lane of a batched
+    :class:`repro.dlx.lanes.BatchDlxEnv` run.
     """
     from repro.datapath.faultsim import BatchFaultSimulator
 
     spec = DlxSpec().run(program, init_regs, init_memory)
-    env = DlxEnv(processor)
-    golden = env.run(program, init_regs, init_memory)
-    golden_detects = golden.events != spec.events
+    if golden is not None:
+        golden_result, golden_trace, dense_cycles = golden
+    else:
+        env = DlxEnv(processor)
+        golden_result = env.run(program, init_regs, init_memory)
+        golden_trace, dense_cycles = env.trace, None
+    golden_detects = golden_result.events != spec.events
     sim = BatchFaultSimulator(
-        processor, env.trace, observed_extra=("mem_alu.y",)
+        processor, golden_trace, observed_extra=("mem_alu.y",),
+        dense_cycles=dense_cycles,
     )
     results = []
     for error in errors:

@@ -35,6 +35,11 @@ from repro.baselines.random_gen import (
     RandomMiniGenerator,
     RandomProgramConfig,
 )
+from repro.datapath.batched import (
+    counters_delta,
+    counters_snapshot,
+    effective_lanes,
+)
 from repro.errors import enumerate_boe, enumerate_bus_ssl, enumerate_mse
 from repro.fuzz.minimize import error_to_spec
 
@@ -63,6 +68,11 @@ class MatrixConfig:
     #: classifications are identical either way (execution strategy, not a
     #: result knob — deliberately absent from the artifact's config).
     batch: bool = True
+    #: Lane width for producing the golden runs on the batched numpy
+    #: kernels (``None`` = auto, 0 = scalar).  Execution strategy like
+    #: ``batch`` — the artifact is byte-identical at any width and its
+    #: config excludes it.
+    lanes: int | None = None
 
 
 def reaches_observable(netlist, site_net: str) -> bool:
@@ -132,6 +142,16 @@ def _machine_harness(config: MatrixConfig):
     raise ValueError(f"unknown machine {config.machine!r}")
 
 
+def _batch_env_cls(machine: str):
+    if machine == "mini":
+        from repro.mini.lanes import BatchMiniEnv
+
+        return BatchMiniEnv
+    from repro.dlx.lanes import BatchDlxEnv
+
+    return BatchDlxEnv
+
+
 def _site_net(error, netlist) -> str:
     try:
         return error.site_net
@@ -146,6 +166,7 @@ def run_matrix(config: MatrixConfig, events=None) -> dict:
     CLI merges fragments from several machines into one artifact.
     """
     started = time.monotonic()
+    counters_before = counters_snapshot()
     processor, detects, batch_detects, generator = _machine_harness(config)
     errors = _enumerate(processor, config)
     if events:
@@ -185,11 +206,37 @@ def run_matrix(config: MatrixConfig, events=None) -> dict:
         # against it.  Same classifications, ``programs_run`` and
         # ``detected_by_program`` as the serial nesting (an error's budget
         # consumption never depends on the other errors).
+        #
+        # With lanes, the golden runs themselves are produced on the
+        # batched numpy kernels, a lane-sized chunk of programs at a time —
+        # lazily, so early detection of every pending error still skips
+        # the untouched tail of the budget entirely.
+        n_lanes = effective_lanes(config.lanes)
+        goldens: dict[int, tuple] = {}
+
+        def golden_for(i: int) -> tuple:
+            if i not in goldens:
+                chunk = range(i, min(i + n_lanes, len(programs)))
+                env = _batch_env_cls(config.machine)(processor, len(chunk))
+                runs = env.run(
+                    [programs[j][0] for j in chunk],
+                    [programs[j][1] for j in chunk],
+                    record="dense",
+                )
+                for j, run in zip(chunk, runs):
+                    if run.failure is not None:
+                        from repro.verify.cosim import CosimError
+
+                        raise CosimError(run.failure)
+                    goldens[j] = (run.result, run.trace, run.dense_cycles)
+            return goldens.pop(i)
+
         for i, (program, init_regs) in enumerate(programs):
             if not pending:
                 break
             verdicts = batch_detects(
-                processor, program, [e for _, e in pending], init_regs
+                processor, program, [e for _, e in pending], init_regs,
+                golden=golden_for(i) if n_lanes else None,
             )
             survivors = []
             for (index, error), hit in zip(pending, verdicts):
@@ -229,9 +276,18 @@ def run_matrix(config: MatrixConfig, events=None) -> dict:
         for key in ("detected", "undetected_by_budget", "proven_benign")
     }
     if events:
+        delta = counters_delta(counters_before)
+        lane_cycles = delta["lane_cycles"]
         events.emit(
             "matrix-finished", machine=config.machine,
-            wall_seconds=time.monotonic() - started, **totals,
+            wall_seconds=time.monotonic() - started,
+            lanes=effective_lanes(config.lanes),
+            batch_calls=delta["batch_calls"],
+            fill_rate=(
+                round(delta["active_lane_cycles"] / lane_cycles, 4)
+                if lane_cycles else 1.0
+            ),
+            **totals,
         )
     return {
         "config": {

@@ -36,6 +36,12 @@ from repro.baselines.random_gen import (
     RandomMiniGenerator,
     RandomProgramConfig,
 )
+from repro.datapath.batched import (
+    counters_delta,
+    counters_snapshot,
+    effective_lanes,
+    merge_counters,
+)
 from repro.fuzz.minimize import (
     emit_pytest_case,
     minimize_case,
@@ -69,6 +75,12 @@ class FuzzConfig:
     #: the interpretive oracle.  Execution strategy, not a result knob —
     #: reports are byte-identical either way and exclude it.
     compiled: bool = True
+    #: Lane width for the batched numpy kernels: ``None`` = auto (batched
+    #: when numpy is importable, scalar otherwise), 0 = scalar, N >= 1 =
+    #: batch N seeded programs per kernel call.  Execution strategy like
+    #: ``compiled`` — reports are byte-identical at any width and the
+    #: artifact excludes it (see tests/test_fuzz_determinism.py).
+    lanes: int | None = None
 
     def __post_init__(self) -> None:
         if self.machine not in MACHINES:
@@ -78,6 +90,8 @@ class FuzzConfig:
             raise ValueError("iters must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.lanes is not None and self.lanes < 0:
+            raise ValueError("lanes must be >= 0")
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +139,41 @@ class _MiniAdapter:
         }
         return outcome, env.trace
 
+    def impl_outcome_batch(self, processor, programs, init_regs_list,
+                           error=None):
+        """Lane-batched ``impl_outcome`` over a chunk of iterations."""
+        from repro.mini.lanes import BatchMiniEnv
+
+        env = _batch_env(BatchMiniEnv, processor, len(programs), error)
+        results = []
+        for run in env.run(programs, init_regs_list):
+            _raise_lane_failure(run)
+            results.append((
+                {
+                    "writes": [list(w) for w in run.result.writes],
+                    "registers": list(run.result.registers),
+                },
+                run.trace,
+            ))
+        return results
+
+
+def _batch_env(env_cls, processor, n_lanes, error):
+    if error is None:
+        return env_cls(processor, n_lanes)
+    bad = error.attach(processor.datapath)
+    return env_cls(processor, n_lanes, injector=bad.injector,
+                   module_overrides=bad.module_overrides)
+
+
+def _raise_lane_failure(run) -> None:
+    """Mirror the scalar path: a lane whose scalar run would raise
+    ``CosimError`` raises here too (the batch is not silently partial)."""
+    if run.failure is not None:
+        from repro.verify.cosim import CosimError
+
+        raise CosimError(run.failure)
+
 
 class _DlxAdapter:
     name = "dlx"
@@ -161,6 +210,18 @@ class _DlxAdapter:
                          compiled=compiled)
         result = env.run(program, init_regs)
         return self._canonical(result), env.trace
+
+    def impl_outcome_batch(self, processor, programs, init_regs_list,
+                           error=None):
+        """Lane-batched ``impl_outcome`` over a chunk of iterations."""
+        from repro.dlx.lanes import BatchDlxEnv
+
+        env = _batch_env(BatchDlxEnv, processor, len(programs), error)
+        results = []
+        for run in env.run(programs, init_regs_list):
+            _raise_lane_failure(run)
+            results.append((self._canonical(run.result), run.trace))
+        return results
 
     @staticmethod
     def _canonical(result) -> dict:
@@ -238,17 +299,12 @@ def _run_shard(payload: tuple) -> dict:
     completed = 0
     budget_exhausted = False
     started = time.monotonic()
-    for index in indices:
-        if (deadline_seconds is not None
-                and time.monotonic() - started > deadline_seconds):
-            budget_exhausted = True
-            break
-        program = generator.program(index)
-        init_regs = generator.initial_registers(index)
-        spec_outcome = adapter.spec_outcome(program, init_regs)
-        impl_outcome, trace = adapter.impl_outcome(
-            processor, program, init_regs, error, compiled=config.compiled
-        )
+    n_lanes = effective_lanes(config.lanes)
+    counters_before = counters_snapshot()
+
+    def observe(index, program, init_regs, spec_outcome, impl_outcome,
+                trace) -> None:
+        nonlocal completed
         collector.observe_trace(trace)
         for name, count in _signal_activity(processor, trace).items():
             activity[name] = activity.get(name, 0) + count
@@ -261,12 +317,51 @@ def _run_shard(payload: tuple) -> dict:
                 "init_regs": list(init_regs),
             })
         completed += 1
+
+    if n_lanes:
+        # Lane-batched path: a chunk of seeded iterations per kernel call.
+        # Per-index observation stays in index order, so the report is
+        # byte-identical to the scalar path at any lane width.
+        for start in range(0, len(indices), n_lanes):
+            if (deadline_seconds is not None
+                    and time.monotonic() - started > deadline_seconds):
+                budget_exhausted = True
+                break
+            chunk = indices[start:start + n_lanes]
+            programs = [generator.program(i) for i in chunk]
+            init_regs_list = [generator.initial_registers(i) for i in chunk]
+            outcomes = adapter.impl_outcome_batch(
+                processor, programs, init_regs_list, error
+            )
+            for i, index in enumerate(chunk):
+                spec_outcome = adapter.spec_outcome(
+                    programs[i], init_regs_list[i]
+                )
+                impl_outcome, trace = outcomes[i]
+                observe(index, programs[i], init_regs_list[i],
+                        spec_outcome, impl_outcome, trace)
+    else:
+        for index in indices:
+            if (deadline_seconds is not None
+                    and time.monotonic() - started > deadline_seconds):
+                budget_exhausted = True
+                break
+            program = generator.program(index)
+            init_regs = generator.initial_registers(index)
+            spec_outcome = adapter.spec_outcome(program, init_regs)
+            impl_outcome, trace = adapter.impl_outcome(
+                processor, program, init_regs, error,
+                compiled=config.compiled
+            )
+            observe(index, program, init_regs, spec_outcome, impl_outcome,
+                    trace)
     return {
         "divergences": divergences,
         "coverage": collector.coverage,
         "activity": activity,
         "completed": completed,
         "budget_exhausted": budget_exhausted,
+        "batch_counters": counters_delta(counters_before),
     }
 
 
@@ -346,6 +441,7 @@ def run_fuzz(
     minimized divergence.
     """
     started = time.monotonic()
+    counters_before = counters_snapshot()
     adapter = machine_adapter(config.machine)
     processor = adapter.build()
     error = (parse_error_spec(config.plant, processor.datapath)
@@ -365,6 +461,7 @@ def run_fuzz(
         "max_minimize": config.max_minimize,
         "opcode_weights": config.opcode_weights,
         "compiled": config.compiled,
+        "lanes": config.lanes,
     }
     shards = _shards(config.iters, config.jobs)
     payloads = [
@@ -377,6 +474,10 @@ def run_fuzz(
 
         with multiprocessing.Pool(len(payloads)) as pool:
             shard_results = pool.map(_run_shard, payloads)
+        # Worker-process batched-kernel counters only exist in the worker;
+        # fold their deltas into this process's profile counters.
+        for result in shard_results:
+            merge_counters(result.get("batch_counters", {}))
 
     report = FuzzReport(config=config)
     for result in shard_results:
@@ -400,12 +501,20 @@ def run_fuzz(
     )
     report.wall_seconds = time.monotonic() - started
     if events:
+        delta = counters_delta(counters_before)
+        lane_cycles = delta["lane_cycles"]
         events.emit(
             "fuzz-finished", machine=config.machine,
             iterations=report.iterations,
             divergences=len(report.divergences),
             wall_seconds=report.wall_seconds,
             budget_exhausted=report.budget_exhausted,
+            lanes=effective_lanes(config.lanes),
+            batch_calls=delta["batch_calls"],
+            fill_rate=(
+                round(delta["active_lane_cycles"] / lane_cycles, 4)
+                if lane_cycles else 1.0
+            ),
         )
     return report
 

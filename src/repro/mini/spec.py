@@ -171,6 +171,7 @@ def batch_detects(
     errors: Sequence,
     init_regs: Sequence[int] | None = None,
     stats: list | None = None,
+    golden: tuple | None = None,
 ) -> list[bool]:
     """``[detects(processor, program, e, init_regs) for e in errors]`` via
     one golden run plus cone forks (:mod:`repro.datapath.faultsim`).
@@ -185,14 +186,25 @@ def batch_detects(
     ``wb_en == 0``, where nothing commits.)  Everything else — status-net
     divergence, which feeds back into control, or a non-committing DPO
     touch — is confirmed with a full serial run.
+
+    ``golden`` optionally supplies a precomputed fault-free run as
+    ``(result, trace, dense_cycles)`` — e.g. one lane of a batched
+    :class:`repro.mini.lanes.BatchMiniEnv` run — so lane-batched callers
+    pay for the golden simulation once per batch, not once per error set.
     """
     from repro.datapath.faultsim import BatchFaultSimulator
 
     spec = MiniSpec().run(program, init_regs)
-    env = MiniEnv(processor)
-    golden = env.run(program, init_regs)
-    golden_detects = golden.writes != spec.writes
-    sim = BatchFaultSimulator(processor, env.trace)
+    if golden is not None:
+        golden_result, golden_trace, dense_cycles = golden
+    else:
+        env = MiniEnv(processor)
+        golden_result = env.run(program, init_regs)
+        golden_trace, dense_cycles = env.trace, None
+    golden_detects = golden_result.writes != spec.writes
+    sim = BatchFaultSimulator(
+        processor, golden_trace, dense_cycles=dense_cycles
+    )
     results = []
     for error in errors:
         fork = sim.fork(error, stop_at_first_observed=True)
@@ -201,8 +213,8 @@ def batch_detects(
         elif (
             fork.kind == "dpo"
             and not golden_detects
-            and env.trace.cycles[fork.cycle].controller.get("wb_en") == 1
-            and env.trace.cycles[fork.cycle].controller.get("rd_wb")
+            and golden_trace.cycles[fork.cycle].controller.get("wb_en") == 1
+            and golden_trace.cycles[fork.cycle].controller.get("rd_wb")
             is not None
         ):
             results.append(True)

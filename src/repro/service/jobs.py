@@ -258,6 +258,7 @@ def fuzz_config_from_request(request: dict[str, Any]):
         machine=request.get("machine", "mini"),
         seed=_field(request, "seed", int, 1),
         length=_field(request, "length", int, 12),
+        lanes=_field(request, "lanes", int, None),
     )
     try:
         if request.get("matrix"):

@@ -65,6 +65,18 @@ from repro.service.jobs import (
 from repro.service.queueing import RateLimited, TenantGovernor
 
 
+def _batched_counters() -> dict:
+    """Process-wide batched-kernel profile counters for ``/metrics``.
+
+    Lane-batched fuzz/matrix jobs run on this process's worker threads
+    (multiprocessing shards fold their deltas back in), so the module
+    counters are the service totals.
+    """
+    from repro.datapath.batched import counters_snapshot
+
+    return counters_snapshot()
+
+
 @dataclass
 class ServiceConfig:
     """Everything ``repro serve`` needs (all CLI-settable)."""
@@ -517,6 +529,7 @@ class CampaignServer:
             },
             "phase_cpu_seconds": dict(sorted(self._phase_cpu.items())),
             "caches": self.registry.stats(),
+            "batched": _batched_counters(),
             "events": {
                 "emitted": self._events_forgotten[0]
                 + sum(j.log.seen for j in self.jobs.values()),

@@ -9,9 +9,11 @@ from repro.verify.cosim import (
     stimulus_key,
     traces_diverge,
 )
+from repro.verify.lanes import LaneProcessorSimulator
 
 __all__ = [
     "CosimError",
+    "LaneProcessorSimulator",
     "CycleTrace",
     "GoldenTraceCache",
     "ProcessorSimulator",

@@ -24,6 +24,7 @@ from repro.datapath.simulate import (
     no_injection,
 )
 from repro.model.processor import Processor
+from repro.utils.bits import mask
 
 
 class CosimError(Exception):
@@ -201,11 +202,16 @@ class ProcessorSimulator:
         return trace
 
     def set_stimulus_state(self, values: Mapping[str, int]) -> None:
-        """Set initial contents of stimulus registers (part of the test)."""
+        """Set initial contents of stimulus registers (part of the test).
+
+        Values are masked to the register width — state must stay in-range
+        for the masked emission semantics the kernel backends share.
+        """
         for name, value in values.items():
             if name not in self.dp_sim.state:
                 raise ValueError(f"no register named {name!r}")
-            self.dp_sim.state[name] = value
+            reg = self.processor.datapath.module(name)
+            self.dp_sim.state[name] = value & mask(reg.width)
 
 
 def stimulus_key(
