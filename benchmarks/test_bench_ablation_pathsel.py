@@ -46,7 +46,6 @@ def random_control_attempt(processor, error, rng):
     # Derive the concrete CTRL values these instructions imply.
     sim = ProcessorSimulator(processor)
     ctrl_map = {}
-    sts_feedback = []
     try:
         for frame_index, cpi in enumerate(cpi_frames):
             dpi = {net.name: rng.randrange(1 << min(net.width, 16))

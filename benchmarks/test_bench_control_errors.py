@@ -14,7 +14,7 @@ with a residue of rarely-exercised selects.
 
 from repro.baselines import RandomMiniGenerator, RandomProgramConfig
 from repro.core.tg import TestGenerator, TGStatus
-from repro.errors import BusSSLError, enumerate_ctrl_ssl
+from repro.errors import enumerate_ctrl_ssl
 from repro.mini import build_minipipe, detects
 
 

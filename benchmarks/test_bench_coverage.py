@@ -10,7 +10,6 @@ errors — coverage is not a proxy for error detection.
 
 from repro.analysis import CoverageCollector
 from repro.baselines import RandomMiniGenerator, RandomProgramConfig
-from repro.campaign import MiniCampaign
 from repro.core.tg import TestGenerator, TGStatus
 from repro.errors import BusSSLError
 from repro.mini import MiniEnv, build_minipipe, detects, to_cpi
@@ -71,7 +70,7 @@ def test_coverage_vs_detection(benchmark):
     processor, tg_detected, tg_cov, rnd_detected, rnd_cov = \
         benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     print()
-    print(f"                    detected  states  transitions  ctrl-cov")
+    print("                    detected  states  transitions  ctrl-cov")
     print(f"  deterministic TG    {tg_detected}/{len(ERRORS)}     "
           f"{tg_cov.n_states():>4}  {tg_cov.n_transitions():>8}"
           f"  {100 * tg_cov.ctrl_value_coverage(processor):>7.0f}%")

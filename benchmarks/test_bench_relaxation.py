@@ -20,7 +20,6 @@ import random
 
 from repro.core.dprelax import DiscreteRelaxer
 from repro.datapath import DatapathSimulator
-from repro.mini import build_minipipe
 
 N_FRAMES = 4
 CTRL = {"alusrc": 0, "op": 0, "wbsel": 0}

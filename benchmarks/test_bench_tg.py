@@ -374,8 +374,8 @@ def test_ctrljust_refutation_bound(benchmark):
           f"window(s) refuted, {on_result.clause_hits} certificate "
           f"hit(s), {on_result.backjumps} backjump(s); "
           f"status {on_result.status.name} with learning on and off")
-    print(f"search-bound ex_a.y[0] bus, second error "
-          f"(same outcomes both arms):")
+    print("search-bound ex_a.y[0] bus, second error "
+          "(same outcomes both arms):")
     print(f"  CTRLJUST backtracks   {off_bt} (learning off) -> "
           f"{on_bt} (learning on, {spot_on[1].clause_hits} certificate "
           f"hit(s)) = {effort_ratio:.2f}x less exhaustion")

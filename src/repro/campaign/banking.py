@@ -1,0 +1,143 @@
+"""Adaptive deadline banking: reinvest unspent per-error CPU budget.
+
+Campaign wall clock is deadline-dominated: most errors finish in
+milliseconds, a handful pin their full CPU deadline and abort.  With
+``deadline_bank=True`` the orchestrator runs each campaign with
+
+* a :class:`DeadlineBank` — every error that finishes *under* its CPU
+  deadline (and was not deadline-tainted) deposits the unspent budget;
+  errors whose TG aborted *because of* the deadline are re-queued once,
+  after the normal queue drains, with one extra base deadline withdrawn
+  from the bank (total = 2x base).  The taint rule from
+  ``nogoods.record_blame`` applies on the deposit side too: a
+  ``deadline_hit`` outcome never deposits.
+* an :class:`EffortPredictor` — dispatch order becomes easiest-first
+  (hardest-last completion), so with ``--jobs N`` the expensive
+  stragglers are interleaved with cheap work instead of serializing the
+  tail, and with fault dropping the cheap detections run (and drop
+  siblings) before the deadline-pinned errors get their turn.
+
+Both are campaign-layer policies: they never change what a single TG run
+computes, only *when* it runs and with how much budget.  Knobs-off
+behavior is byte-identical because neither object is even constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeadlineBank:
+    """Per-campaign account of unspent CPU deadline seconds.
+
+    Invariants (pinned by unit tests): the balance is never negative —
+    deposits clamp at zero and grants require sufficient funds — and
+    every error is granted at most once, so a re-queued error that pins
+    its doubled deadline cannot loop.
+    """
+
+    balance: float = 0.0
+    deposited: float = 0.0
+    granted: float = 0.0
+    deposits: int = 0
+    grants: int = 0
+    _granted_names: set = field(default_factory=set)
+
+    def deposit(self, name: str, deadline: float, cpu_seconds: float,
+                tainted: bool = False) -> float:
+        """Bank ``deadline - cpu_seconds`` for one finished error.
+
+        Returns the amount banked (0.0 for tainted outcomes — a
+        deadline-hit run has no unspent budget worth trusting — and for
+        overruns, which clamp at zero instead of going negative).
+        """
+        if tainted:
+            return 0.0
+        amount = max(0.0, deadline - cpu_seconds)
+        if amount > 0.0:
+            self.balance += amount
+            self.deposited += amount
+            self.deposits += 1
+        return amount
+
+    def try_grant(self, name: str, amount: float) -> bool:
+        """Withdraw ``amount`` for a re-queued error; at most once per
+        error, and only when the balance covers the full amount."""
+        if amount <= 0.0 or name in self._granted_names:
+            return False
+        if self.balance < amount:
+            return False
+        self.balance -= amount
+        self.granted += amount
+        self.grants += 1
+        self._granted_names.add(name)
+        return True
+
+    def stats(self) -> dict:
+        """Auditable account summary for run reports and ``/metrics``."""
+        return {
+            "balance_seconds": self.balance,
+            "deposited_seconds": self.deposited,
+            "granted_seconds": self.granted,
+            "deposits": self.deposits,
+            "grants": self.grants,
+        }
+
+
+class EffortPredictor:
+    """Cheap per-error effort estimate for hardest-last dispatch.
+
+    The static proxy is ``window count x objective-site size`` — how many
+    pipeframe windows TG may sweep times how wide the error site's net is
+    (a stand-in for the objective count each window generates).  It is
+    refined online: :meth:`observe` keeps the *maximum* backtrack count
+    seen for each site net (max, not last, so the refinement is
+    independent of completion order — jobs=1 and jobs=N campaigns sort
+    identically), and observed effort dominates the static guess.
+
+    Predictions only reorder dispatch; they never change any error's
+    budget or outcome, so a bad prediction costs wall clock, not
+    correctness.
+    """
+
+    def __init__(self, campaign) -> None:
+        generator = getattr(campaign, "generator", None)
+        lo = getattr(generator, "min_frames", None) or 0
+        hi = getattr(generator, "max_frames", None) or 0
+        self._windows = max(1, hi - lo + 1)
+        self._datapath = getattr(
+            getattr(campaign, "processor", None), "datapath", None
+        )
+        self._observed: dict[str, int] = {}
+
+    def _site_net(self, error) -> str:
+        try:
+            return error.site_net
+        except AttributeError:
+            try:
+                return error.site_net_in(self._datapath)
+            except Exception:
+                return error.describe()
+
+    def _static(self, error) -> int:
+        width = 1
+        if self._datapath is not None:
+            try:
+                width = max(1, self._datapath.net(self._site_net(error)).width)
+            except Exception:
+                width = 1
+        return self._windows * width
+
+    def observe(self, error, backtracks: int) -> None:
+        """Refine with a finished error's backtrack count (max-merged per
+        site net, so order of observation does not matter)."""
+        net = self._site_net(error)
+        if backtracks > self._observed.get(net, 0):
+            self._observed[net] = backtracks
+
+    def predict(self, error) -> tuple:
+        """Sort key: ascending = easiest-first dispatch.  Observed
+        backtracks on the same site net outrank the static proxy."""
+        return (self._observed.get(self._site_net(error), 0),
+                self._static(error))

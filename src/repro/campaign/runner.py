@@ -66,6 +66,21 @@ class ErrorOutcome:
     backjumps: int = 0
     clause_hits: int = 0
     refuted_unjustifiable: int = 0
+    #: Luby restarts taken by restart-capable CTRLJUST searches (always 0
+    #: with the ``restarts`` knob off).
+    restarts: int = 0
+    #: CPU seconds this error actually consumed (``time.process_time``
+    #: delta around TG + realization + ISA check), next to the wall-clock
+    #: ``seconds`` — what the deadline bank's deposits are computed from.
+    cpu_seconds: float = 0.0
+    #: The CPU deadline this error ran under (base deadline, or base +
+    #: banked grant on a re-queued attempt) — makes banking decisions
+    #: auditable from the ``--json`` run report.
+    deadline_grant: float = 0.0
+    #: The TG abort was forced by the CPU deadline: the outcome is
+    #: time-bound (taint) — never deposits to the deadline bank, and is
+    #: the re-queue trigger when banking is on.
+    deadline_hit: bool = False
 
 
 @dataclass
@@ -78,6 +93,10 @@ class CampaignReport:
     #: before the error list was exhausted; the outcomes cover only the
     #: completed prefix.
     interrupted: bool = False
+    #: Deadline-bank accounting (see ``repro.campaign.banking``); present
+    #: only when the orchestrator ran with ``deadline_bank=True``, so
+    #: knobs-off report dictionaries keep their exact historical shape.
+    bank: dict | None = None
 
     @property
     def n_errors(self) -> int:
@@ -158,6 +177,8 @@ def _outcome_from_result(error: DesignError, result) -> ErrorOutcome:
         backjumps=result.backjumps,
         clause_hits=result.clause_hits,
         refuted_unjustifiable=result.refuted_unjustifiable,
+        restarts=result.restarts,
+        deadline_hit=result.deadline_hit,
     )
 
 
@@ -341,8 +362,10 @@ class DlxCampaign(CampaignBase):
         from repro.dlx.realize import RealizationError, realize
 
         start = time.monotonic()
+        cpu_start = time.process_time()
         result = self.generator.generate(error)
         outcome = _outcome_from_result(error, result)
+        outcome.deadline_grant = self.generator.deadline_seconds or 0.0
         realized = None
         if result.status is not TGStatus.DETECTED:
             outcome.failure_stage = "tg"
@@ -364,6 +387,7 @@ class DlxCampaign(CampaignBase):
                 else:
                     outcome.failure_stage = "isa-check"
                     realized = None
+        outcome.cpu_seconds = time.process_time() - cpu_start
         outcome.seconds = time.monotonic() - start
         return outcome, realized
 
@@ -432,8 +456,10 @@ class MiniCampaign(CampaignBase):
         from repro.mini.realize import RealizationError, realize
 
         start = time.monotonic()
+        cpu_start = time.process_time()
         result = self.generator.generate(error)
         outcome = _outcome_from_result(error, result)
+        outcome.deadline_grant = self.generator.deadline_seconds or 0.0
         realized = None
         if result.status is not TGStatus.DETECTED:
             outcome.failure_stage = "tg"
@@ -455,6 +481,7 @@ class MiniCampaign(CampaignBase):
                 else:
                     outcome.failure_stage = "isa-check"
                     realized = None
+        outcome.cpu_seconds = time.process_time() - cpu_start
         outcome.seconds = time.monotonic() - start
         return outcome, realized
 

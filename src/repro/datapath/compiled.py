@@ -38,7 +38,6 @@ import os
 from functools import partial as _bind
 from typing import Mapping, Sequence
 
-from repro.datapath.module import ModuleClass
 from repro.datapath.modules import ConstantModule
 from repro.datapath.simulate import no_injection
 from repro.utils.bits import mask
@@ -203,8 +202,6 @@ class CompiledDatapath:
             self.sched_ctl.append(
                 tuple(idx[p.net.name] for p in module.control_inputs)
             )
-
-        from repro.datapath.net import NetRole
 
         self.dpo_ids = [idx[n.name] for n in netlist.dpo_nets]
         self.sts_ids = [idx[n.name] for n in netlist.sts_nets]

@@ -28,7 +28,6 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.analysis.coverage import ControllerCoverage, CoverageCollector
 from repro.baselines.random_gen import (

@@ -372,7 +372,6 @@ class DatapathPathAnalyzer:
         frame: int,
         ctrl: CtrlAssignment,
     ) -> None:
-        n_inputs = len(module.data_inputs)
         for i, port in enumerate(module.data_inputs):
             side_states = [
                 port_c[(frame, p.full_name)]

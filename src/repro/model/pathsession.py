@@ -45,10 +45,9 @@ from repro.core.costates import (
 )
 from repro.datapath.module import ModuleClass
 from repro.datapath.modules import RegisterModule
-from repro.datapath.net import NetRole
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime
-    from repro.model.pathgraph import CoStates, DatapathPathAnalyzer
+    from repro.model.pathgraph import DatapathPathAnalyzer
 
 _MISSING = object()
 

@@ -58,10 +58,10 @@ def test_value_changes_recorded(processor, trace, tmp_path):
     text = path.read_text()
     # wb_en goes 0 -> 1 when the ADDI reaches write-back.
     lines = text.splitlines()
-    one_changes = [l for l in lines if l.startswith("1") and len(l) <= 3]
+    one_changes = [ln for ln in lines if ln.startswith("1") and len(ln) <= 3]
     assert one_changes, "expected a wb_en rising change"
     # Timestamps are present and increasing.
-    stamps = [int(l[1:]) for l in lines if l.startswith("#")]
+    stamps = [int(ln[1:]) for ln in lines if ln.startswith("#")]
     assert stamps == sorted(stamps)
 
 

@@ -254,8 +254,9 @@ def test_interrupt_parallel_run_leaves_tail_unattempted(tmp_path):
 def test_worker_entry_points_in_process():
     """The pool worker functions themselves, run in-process."""
     _worker_init("mini", 10.0)
-    index, outcome_dict, test, learned, learned_clauses = _worker_run(
-        (7, ERRORS[0], [], [])
+    (index, outcome_dict, test, learned, learned_clauses,
+     learned_activity) = _worker_run(
+        (7, ERRORS[0], [], [], [], 0.0)
     )
     assert index == 7
     assert outcome_dict["detected"]
@@ -264,6 +265,7 @@ def test_worker_entry_points_in_process():
     assert len(test["program"]) == outcome_dict["test_length"]
     assert isinstance(learned, list)
     assert isinstance(learned_clauses, list)
+    assert isinstance(learned_activity, list)
 
 
 def test_campaign_run_to_dict_shape():

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.controller.implication import CompiledNetwork, ImplicationSession
+from repro.controller.implication import CompiledNetwork
 from repro.controller.nodes import BufNode, InSetNode, NotNode
 from repro.controller.pipeline import PipelinedController, PipeRegister
 from repro.controller.signals import SignalKind, bit_signal, field_signal

@@ -5,9 +5,7 @@ import pytest
 from repro.controller import (
     AndNode,
     BufNode,
-    ConstNode,
     ControlNetworkError,
-    EqConstNode,
     InSetNode,
     NotNode,
     OrNode,

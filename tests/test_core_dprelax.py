@@ -5,7 +5,6 @@ import pytest
 from repro.core.dprelax import (
     ActivationConstraint,
     DiscreteRelaxer,
-    ValueType,
 )
 from repro.datapath import DatapathBuilder, DatapathSimulator
 from tests.helpers import build_linear_chain, build_toy_pipeline

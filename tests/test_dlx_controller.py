@@ -5,7 +5,6 @@ import pytest
 from repro.dlx.controller import SQUASH_OP, build_dlx_controller
 from repro.dlx.isa import (
     Instruction,
-    OPCODES,
     to_cpi,
 )
 

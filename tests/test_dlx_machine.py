@@ -9,7 +9,6 @@ from repro.dlx import (
     DlxSpec,
     Instruction,
     MNEMONICS,
-    NOP,
     build_dlx,
 )
 from repro.utils.bits import to_unsigned

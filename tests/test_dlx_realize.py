@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.tg import TestCase
 from repro.dlx import NOP, build_dlx, to_cpi
-from repro.dlx.isa import Instruction, OPCODES
+from repro.dlx.isa import OPCODES
 from repro.dlx.realize import RealizationError, RealizedDlxTest, realize
 from repro.dlx.spec import DlxSpec
 from repro.dlx.env import DlxEnv

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dlx.isa import Instruction, MNEMONIC_LIST, OPCODES
+from repro.dlx.isa import Instruction, MNEMONIC_LIST
 from repro.dlx.spec import DlxSpec, Memory
 from repro.utils.bits import mask, to_unsigned
 

@@ -69,7 +69,7 @@ def test_mse_substitutes_function():
 
 
 def test_boe_swaps_inputs():
-    from repro.datapath import DatapathBuilder, DatapathSimulator
+    from repro.datapath import DatapathBuilder
 
     b = DatapathBuilder("sw")
     x = b.input("x", 8)

@@ -11,7 +11,7 @@ import pytest
 from repro.core.tg import TestGenerator, TGStatus
 from repro.errors import BusSSLError, enumerate_bus_ssl
 from repro.mini import build_minipipe, detects
-from repro.mini.realize import RealizationError, realize
+from repro.mini.realize import realize
 
 
 @pytest.fixture(scope="module")

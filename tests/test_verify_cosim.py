@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import BusSSLError
 from repro.mini import Instruction, build_minipipe, to_cpi
-from repro.verify import CosimError, ProcessorSimulator, traces_diverge
+from repro.verify import ProcessorSimulator, traces_diverge
 from repro.verify.cosim import GoldenTraceCache, stimulus_key
 
 
